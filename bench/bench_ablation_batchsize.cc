@@ -1,0 +1,69 @@
+// Ablation: batch size sweep. Theorem 5.2 gives batch-update work
+// O(min{k log(1 + n/k), kD}) — per-edge cost should *fall* as the batch
+// size k grows (shared reclustering amortizes per-level work), approaching
+// bulk-build speed at k = n. This bench sweeps k per input family and
+// prints the per-edge microseconds for batch-dynamic UFO trees, topology
+// trees, and the batch ETT baseline.
+#include <string>
+
+#include "bench/common.h"
+#include "graph/generators.h"
+#include "seq/ett_skiplist.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+
+using namespace ufo;
+using namespace ufo::bench;
+
+namespace {
+
+template <class Tree>
+double per_edge_us(size_t n, const EdgeList& edges, size_t k) {
+  double secs = batch_build_destroy_seconds<Tree>(n, edges, k, 99);
+  return secs * 1e6 / (2.0 * edges.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  size_t n = opt.n ? opt.n : (opt.quick ? 4000 : 30000);
+  std::printf("[ablation] batch size sweep, n=%zu "
+              "(per-edge microseconds, insert all + delete all)\n", n);
+
+  struct Input {
+    const char* name;
+    EdgeList edges;
+  };
+  std::vector<Input> inputs = {
+      {"path", gen::path(n)},
+      {"star", gen::star(n)},
+      {"random", gen::random_unbounded(n, 3)},
+  };
+  std::vector<size_t> ks;
+  for (size_t k : {size_t{1}, size_t{8}, size_t{64}, size_t{512},
+                   size_t{4096}})
+    if (k < n) ks.push_back(k);
+  ks.push_back(n);
+
+  for (const Input& in : inputs) {
+    std::vector<std::string> cols;
+    for (size_t k : ks) cols.push_back("k=" + std::to_string(k));
+    print_header(in.name, "structure", cols);
+    std::printf("%-26s", "UFO Tree");
+    for (size_t k : ks) print_cell(per_edge_us<seq::UfoTree>(n, in.edges, k));
+    std::printf("\n%-26s", "ETT (Skip List)");
+    for (size_t k : ks)
+      print_cell(per_edge_us<seq::EttSkipList>(n, in.edges, k));
+    std::printf("\n");
+    // Topology trees natively need degree <= 3; only the path qualifies.
+    if (std::string(in.name) == "path") {
+      std::printf("%-26s", "Topology Tree");
+      for (size_t k : ks)
+        print_cell(per_edge_us<seq::TopologyTree>(n, in.edges, k));
+      std::printf("\n");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablations for design choices called out in DESIGN.md:
+//  (a) rank-tree vs. linear rescan for maintaining a non-invertible
+//      aggregate (max) over the children of a high-fanout cluster under
+//      rake deletions (Section 4.2: rank trees keep this O(log));
+//  (b) UFO high-degree merges vs. ternarization on star builds — the merge
+//      rule that gives UFO trees their O(min{log n, D}) height.
+#include <algorithm>
+
+#include "bench/common.h"
+#include "graph/generators.h"
+#include "seq/rank_tree.h"
+#include "seq/rc_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+using namespace ufo;
+using namespace ufo::bench;
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  size_t fanout = opt.n ? opt.n : (opt.quick ? 20000 : 200000);
+
+  std::printf("[ablation a] non-invertible child aggregate under deletions, "
+              "fanout k=%zu\n", fanout);
+  util::SplitMix64 rng(3);
+  std::vector<Weight> values(fanout);
+  for (auto& v : values) v = static_cast<Weight>(rng.next(1u << 20));
+  {
+    // Linear rescan: delete children one by one, recomputing max each time.
+    std::vector<Weight> live = values;
+    util::Timer timer;
+    Weight sink = 0;
+    // Cap the quadratic baseline so the binary stays fast; extrapolate.
+    size_t deletions = std::min<size_t>(fanout, 4000);
+    for (size_t i = 0; i < deletions; ++i) {
+      live[i] = INT64_MIN;
+      sink ^= *std::max_element(live.begin(), live.end());
+    }
+    double per_op = timer.elapsed() / deletions;
+    std::printf("  linear rescan : %10.2f us/delete (O(k) each)%s\n",
+                per_op * 1e6, sink == 42 ? "!" : "");
+  }
+  {
+    seq::RankTree t;
+    for (size_t i = 0; i < fanout; ++i) t.insert(i, 1 + rng.next(64),
+                                                 values[i]);
+    util::Timer timer;
+    Weight sink = 0;
+    for (size_t i = 0; i < fanout; ++i) {
+      t.erase(i);
+      if (t.size()) sink ^= t.max_value();
+    }
+    double per_op = timer.elapsed() / fanout;
+    std::printf("  rank tree     : %10.2f us/delete (O(log(W/w)) each)%s\n",
+                per_op * 1e6, sink == 42 ? "!" : "");
+  }
+
+  std::printf("\n[ablation b] star build+destroy: UFO high-degree merges vs "
+              "ternarized contraction\n");
+  print_header("star", "n", {"UFO", "RC(tern)"});
+  for (size_t n = 10000; n <= fanout; n *= 4) {
+    EdgeList e = gen::star(n);
+    std::printf("%-26zu", n);
+    print_cell(build_destroy_seconds<seq::UfoTree>(n, e, 7));
+    print_cell(build_destroy_seconds<seq::RcTree>(n, e, 7));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

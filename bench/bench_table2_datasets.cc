@@ -1,0 +1,36 @@
+// Table 2: the benchmark datasets. The paper uses USA roads / ENWiki /
+// StackOverflow / Twitter; this repo generates structural stand-ins (grid =
+// road-like, preferential attachment = web/social-like) and extracts the
+// same BFS and RIS spanning forests. Prints |V|, |E| and forest diameters.
+#include "bench/common.h"
+#include "graph/generators.h"
+
+using namespace ufo;
+using namespace ufo::bench;
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  size_t scale = opt.n ? opt.n : (opt.quick ? 5000 : 100000);
+  std::printf("[table2] real-world stand-in datasets (scale=%zu)\n", scale);
+
+  size_t side = 1;
+  while (side * side < scale) ++side;
+  EdgeList road = gen::grid_graph(side, side);
+  EdgeList web = gen::social_graph(scale, 4, 19);
+  EdgeList soc = gen::social_graph(scale, 8, 23);
+  std::printf("%-22s %12s %12s   %s\n", "graph", "|V|", "|E|", "stands in for");
+  std::printf("%-22s %12zu %12zu   %s\n", "ROAD (grid)", side * side,
+              road.size(), "USA roads (high diameter)");
+  std::printf("%-22s %12zu %12zu   %s\n", "WEB (pref-attach d=4)", scale,
+              web.size(), "ENWiki / StackOverflow");
+  std::printf("%-22s %12zu %12zu   %s\n", "SOC (pref-attach d=8)", scale,
+              soc.size(), "Twitter");
+
+  std::printf("\nspanning forests used by Fig. 5/8:\n");
+  std::printf("%-22s %12s\n", "forest", "diameter");
+  for (const auto& input : gen::realworld_suite(scale, 12)) {
+    std::printf("%-22s %12zu\n", input.name.c_str(),
+                gen::forest_diameter(input.n, input.edges));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared benchmark harness: flag parsing, row printing, and the
+// build-then-destroy driver used by the update-speed experiments.
+//
+// Every binary accepts:
+//   --n=<vertices>   input size (default per benchmark)
+//   --scale=<f>      multiply the default n by f
+//   --quick          shrink everything for a smoke run
+// Times are wall-clock seconds on this host; the paper's claims reproduced
+// here are about *relative* shape, not absolute numbers (see DESIGN.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/forest.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace ufo::bench {
+
+struct Options {
+  size_t n = 0;          // 0 = use benchmark default
+  size_t batch = 0;      // 0 = use benchmark default
+  bool quick = false;
+};
+
+inline Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0)
+      opt.n = std::strtoul(argv[i] + 4, nullptr, 10);
+    else if (std::strncmp(argv[i], "--batch=", 8) == 0)
+      opt.batch = std::strtoul(argv[i] + 8, nullptr, 10);
+    else if (std::strcmp(argv[i], "--quick") == 0)
+      opt.quick = true;
+  }
+  return opt;
+}
+
+inline void print_header(const char* title, const char* col0,
+                         const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n%-26s", title, col0);
+  for (const auto& c : cols) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_cell(double seconds) {
+  if (seconds < 0)
+    std::printf(" %12s", "n/a");
+  else
+    std::printf(" %12.4f", seconds);
+}
+
+// Total time to insert all edges (random order) then delete all edges
+// (another random order) — the paper's update-speed metric (Fig. 5).
+template <class Tree>
+double build_destroy_seconds(size_t n, const EdgeList& edges, uint64_t seed) {
+  EdgeList ins = edges;
+  EdgeList del = edges;
+  util::shuffle(ins, seed);
+  util::shuffle(del, seed + 1);
+  Tree t(n);
+  util::Timer timer;
+  for (const Edge& e : ins) t.link(e.u, e.v, e.w);
+  for (const Edge& e : del) t.cut(e.u, e.v);
+  return timer.elapsed();
+}
+
+// Batched variant (Fig. 8): edges are split into batches of size k.
+template <class Tree>
+double batch_build_destroy_seconds(size_t n, const EdgeList& edges, size_t k,
+                                   uint64_t seed) {
+  EdgeList ins = edges;
+  EdgeList del = edges;
+  util::shuffle(ins, seed);
+  util::shuffle(del, seed + 1);
+  Tree t(n);
+  util::Timer timer;
+  for (size_t i = 0; i < ins.size(); i += k) {
+    std::vector<Edge> batch(ins.begin() + i,
+                            ins.begin() + std::min(ins.size(), i + k));
+    t.batch_link(batch);
+  }
+  for (size_t i = 0; i < del.size(); i += k) {
+    std::vector<Edge> batch(del.begin() + i,
+                            del.begin() + std::min(del.size(), i + k));
+    t.batch_cut(batch);
+  }
+  return timer.elapsed();
+}
+
+}  // namespace ufo::bench

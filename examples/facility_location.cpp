@@ -1,0 +1,69 @@
+// Facility placement on an evolving delivery network.
+//
+// A city's delivery tree changes as streets open and close; dispatch wants:
+//   * the network center (minimize worst-case distance) for a new depot,
+//   * the weighted median (minimize total travel) for a warehouse,
+//   * the nearest charging station (marked vertices) from any courier.
+// These are exactly the non-local queries of Appendix C (center, median,
+// nearest-marked-vertex), all answered in O(log n) from the UFO tree.
+//
+//   ./examples/facility_location [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/generators.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace ufo;
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50000;
+  EdgeList streets = gen::random_unbounded(n, 31);
+  seq::UfoTree city(n);
+  for (const Edge& e : streets) city.link(e.u, e.v);
+
+  util::SplitMix64 rng(17);
+  // Demand weights: a few heavy customers.
+  for (Vertex v = 0; v < n; ++v)
+    city.set_vertex_weight(v, rng.next(20) == 0 ? 50 : 1);
+  // Charging stations at random sites.
+  for (int i = 0; i < 20; ++i)
+    city.set_mark(static_cast<Vertex>(rng.next(n)), true);
+
+  util::Timer timer;
+  Vertex depot = city.component_center(0);
+  Vertex warehouse = city.component_median(0);
+  std::printf("n=%zu diameter=%lld\n", n,
+              static_cast<long long>(city.component_diameter(0)));
+  std::printf("depot (center) -> vertex %u\n", depot);
+  std::printf("warehouse (weighted median) -> vertex %u\n", warehouse);
+
+  long long total_station_dist = 0;
+  for (int courier = 0; courier < 1000; ++courier) {
+    Vertex at = static_cast<Vertex>(rng.next(n));
+    total_station_dist += city.nearest_marked_distance(at);
+  }
+  std::printf("avg hops to nearest charging station over 1000 couriers: "
+              "%.2f\n",
+              total_station_dist / 1000.0);
+
+  // The network evolves: rewire 500 random streets, then re-site the depot.
+  for (int i = 0; i < 500; ++i) {
+    size_t idx = rng.next(streets.size());
+    Edge& e = streets[idx];
+    city.cut(e.u, e.v);
+    // Reattach the severed branch somewhere on the main component.
+    Vertex other = static_cast<Vertex>(rng.next(n));
+    while (city.connected(e.u, other) == city.connected(e.v, other))
+      other = static_cast<Vertex>(rng.next(n));
+    Vertex loose = city.connected(e.u, other) ? e.v : e.u;
+    city.link(other, loose);
+    e = {other, loose, 1};
+  }
+  Vertex new_depot = city.component_center(0);
+  std::printf("after 500 rewires: depot moves %u -> %u (%.3fs total)\n",
+              depot, new_depot, timer.elapsed());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fleet tracking on a road network: non-local queries in production shape.
+//
+// A dispatch service maintains the road network's spanning forest. Depots
+// are *marked* vertices; the dispatcher asks, for any incident location,
+// how far the nearest depot is (nearest_marked_distance). Planners ask for
+// the component's diameter (worst-case response transit), its center (best
+// new depot site), and its weighted median (best warehouse under demand
+// weights). Roadworks close and reopen road segments throughout the day,
+// exercising updates between query bursts.
+//
+//   ./examples/fleet_tracking [grid_side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/generators.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace ufo;
+
+int main(int argc, char** argv) {
+  size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  size_t n = side * side;
+  // Road network stand-in: a grid; the forest is its BFS spanning tree
+  // (same extraction the paper uses for USA-roads).
+  EdgeList roads = gen::grid_graph(side, side);
+  EdgeList forest = gen::bfs_forest(n, roads, 5);
+
+  seq::UfoTree net(n);
+  for (const Edge& e : forest) net.link(e.u, e.v, e.w);
+
+  // Demand weights: city blocks near the center are busier.
+  for (Vertex v = 0; v < n; ++v) {
+    size_t r = v / side, c = v % side;
+    size_t dist_from_mid =
+        (r > side / 2 ? r - side / 2 : side / 2 - r) +
+        (c > side / 2 ? c - side / 2 : side / 2 - c);
+    net.set_vertex_weight(v, static_cast<Weight>(side - dist_from_mid / 2));
+  }
+
+  // Depots: a handful of marked grid points.
+  util::SplitMix64 rng(31);
+  std::vector<Vertex> depots;
+  for (int d = 0; d < 6; ++d) {
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    depots.push_back(v);
+    net.set_mark(v, true);
+  }
+
+  util::Timer timer;
+  long long checksum = 0;
+  size_t closures = 0;
+  for (int hour = 0; hour < 24; ++hour) {
+    // Query burst: 2000 dispatch lookups.
+    for (int q = 0; q < 2000; ++q) {
+      Vertex at = static_cast<Vertex>(rng.next(n));
+      checksum += net.nearest_marked_distance(at);
+    }
+    // Planning queries once per hour.
+    checksum += net.component_diameter(0);
+    checksum += net.component_center(0);
+    checksum += net.component_median(0);
+    // Roadworks: close 20 random segments, reroute via fresh BFS edges of
+    // the *graph* (pick a replacement road that reconnects the two sides).
+    for (int c = 0; c < 20 && c < static_cast<int>(forest.size()); ++c) {
+      size_t i = rng.next(forest.size());
+      Edge closed = forest[i];
+      net.cut(closed.u, closed.v);
+      ++closures;
+      // Find a reopening road among the grid edges joining the two sides.
+      bool rerouted = false;
+      for (size_t probe = 0; probe < roads.size(); ++probe) {
+        const Edge& r = roads[(i + probe) % roads.size()];
+        if (net.connected(r.u, r.v)) continue;
+        net.link(r.u, r.v, r.w);
+        forest[i] = r;
+        rerouted = true;
+        break;
+      }
+      if (!rerouted) {  // dead-end closure: reopen the same segment
+        net.link(closed.u, closed.v, closed.w);
+        forest[i] = closed;
+      }
+    }
+  }
+  double secs = timer.elapsed();
+
+  std::printf("grid %zux%zu (n=%zu): 24 hours simulated in %.3fs\n", side,
+              side, n, secs);
+  std::printf("  48000 nearest-depot queries, 72 planning queries, %zu road "
+              "closures\n", closures);
+  std::printf("  checksum %lld\n", checksum);
+
+  // Sanity: distances at the depots themselves are zero.
+  for (Vertex d : depots)
+    if (net.nearest_marked_distance(d) != 0) {
+      std::fprintf(stderr, "depot %u misreported\n", d);
+      return 1;
+    }
+  std::printf("  all %zu depots report distance 0 - OK\n", depots.size());
+  return 0;
+}

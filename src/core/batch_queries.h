@@ -1,0 +1,97 @@
+// Parallel batch queries.
+//
+// Section 3.3/4.2 of the paper: contraction-tree queries are read-only, so
+// "any number of queries can be run in parallel with no synchronization."
+// These helpers exploit exactly that: they fan a batch of independent
+// queries across the fork-join pool with one parallel_for and no locking.
+//
+// They require a backend whose queries are const (UFO trees, topology
+// trees, the oracle). Self-adjusting structures (link-cut trees, splay top
+// trees) mutate on read and are rejected at compile time — the same
+// distinction the paper draws in Section 6.1 when explaining why UFO query
+// throughput beats link-cut trees.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/capabilities.h"
+#include "graph/forest.h"
+#include "parallel/scheduler.h"
+
+namespace ufo::core {
+
+// A structure whose connectivity/path/subtree queries are all const —
+// i.e., safe for unsynchronized concurrent readers.
+template <class T>
+concept ConstQueryable =
+    requires(const T t, Vertex u, Vertex v) {
+      { t.connected(u, v) } -> std::convertible_to<bool>;
+      { t.path_sum(u, v) } -> std::convertible_to<Weight>;
+      { t.path_max(u, v) } -> std::convertible_to<Weight>;
+      { t.subtree_sum(u, v) } -> std::convertible_to<Weight>;
+    };
+
+using VertexPair = std::pair<Vertex, Vertex>;
+
+// answers[i] = t.connected(q[i].first, q[i].second)
+template <ConstQueryable Tree>
+std::vector<uint8_t> batch_connected(const Tree& t,
+                                     const std::vector<VertexPair>& q) {
+  std::vector<uint8_t> out(q.size());
+  par::parallel_for(0, q.size(), [&](size_t i) {
+    out[i] = t.connected(q[i].first, q[i].second) ? 1 : 0;
+  });
+  return out;
+}
+
+// answers[i] = t.path_sum(q[i]) — every pair must be connected.
+template <ConstQueryable Tree>
+std::vector<Weight> batch_path_sum(const Tree& t,
+                                   const std::vector<VertexPair>& q) {
+  std::vector<Weight> out(q.size());
+  par::parallel_for(0, q.size(), [&](size_t i) {
+    out[i] = t.path_sum(q[i].first, q[i].second);
+  });
+  return out;
+}
+
+// answers[i] = t.path_max(q[i]) — every pair must be connected.
+template <ConstQueryable Tree>
+std::vector<Weight> batch_path_max(const Tree& t,
+                                   const std::vector<VertexPair>& q) {
+  std::vector<Weight> out(q.size());
+  par::parallel_for(0, q.size(), [&](size_t i) {
+    out[i] = t.path_max(q[i].first, q[i].second);
+  });
+  return out;
+}
+
+// answers[i] = t.subtree_sum(v, p) for q[i] = (v, p) — (v, p) must be a
+// tree edge.
+template <ConstQueryable Tree>
+std::vector<Weight> batch_subtree_sum(const Tree& t,
+                                      const std::vector<VertexPair>& q) {
+  std::vector<Weight> out(q.size());
+  par::parallel_for(0, q.size(), [&](size_t i) {
+    out[i] = t.subtree_sum(q[i].first, q[i].second);
+  });
+  return out;
+}
+
+// answers[i] = t.lca(u, v, r) for q[i] = {u, v, r}.
+template <class Tree>
+std::vector<Vertex> batch_lca(const Tree& t,
+                              const std::vector<std::array<Vertex, 3>>& q)
+  requires requires(const Tree ct, Vertex x) { ct.lca(x, x, x); }
+{
+  std::vector<Vertex> out(q.size());
+  par::parallel_for(0, q.size(), [&](size_t i) {
+    out[i] = t.lca(q[i][0], q[i][1], q[i][2]);
+  });
+  return out;
+}
+
+}  // namespace ufo::core

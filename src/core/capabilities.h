@@ -1,0 +1,70 @@
+// Capability concepts for dynamic-tree structures.
+//
+// Table 1 of the paper classifies dynamic trees by the operations they
+// support. These concepts encode that taxonomy so generic code (the
+// DynamicForest facade, the typed test suites, the benchmark harness) can
+// dispatch on what a structure can do at compile time:
+//
+//   DynamicTree      link/cut/connectivity — every structure (Table 1 col 1)
+//   PathQueryable    path sum/max (link-cut trees and richer)
+//   SubtreeQueryable subtree aggregates (ETTs, top trees, contraction trees)
+//   BatchDynamic     batch_link/batch_cut/batch_update (Section 5)
+//   NonLocalQueryable LCA/diameter/center/median/nearest-marked (App. C)
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "graph/forest.h"
+
+namespace ufo::core {
+
+template <class T>
+concept DynamicTree = requires(T t, const T ct, Vertex u, Vertex v, Weight w) {
+  { T(size_t{8}) };
+  { ct.size() } -> std::convertible_to<size_t>;
+  { t.link(u, v, w) };
+  { t.cut(u, v) };
+  { t.connected(u, v) } -> std::convertible_to<bool>;
+};
+
+template <class T>
+concept PathQueryable = DynamicTree<T> && requires(T t, Vertex u, Vertex v) {
+  { t.path_sum(u, v) } -> std::convertible_to<Weight>;
+  { t.path_max(u, v) } -> std::convertible_to<Weight>;
+};
+
+template <class T>
+concept SubtreeQueryable =
+    DynamicTree<T> && requires(T t, Vertex v, Vertex p, Weight w) {
+      { t.subtree_sum(v, p) } -> std::convertible_to<Weight>;
+      { t.set_vertex_weight(v, w) };
+    };
+
+template <class T>
+concept BatchDynamic =
+    DynamicTree<T> && requires(T t, const std::vector<Edge>& edges,
+                               const std::vector<Update>& batch) {
+      { t.batch_link(edges) };
+      { t.batch_cut(edges) };
+      { t.batch_update(batch) };
+    };
+
+template <class T>
+concept NonLocalQueryable =
+    DynamicTree<T> && requires(T t, Vertex u, Vertex v, Vertex r, bool m) {
+      { t.lca(u, v, r) } -> std::convertible_to<Vertex>;
+      { t.component_diameter(v) } -> std::convertible_to<int64_t>;
+      { t.component_center(v) } -> std::convertible_to<Vertex>;
+      { t.component_median(v) } -> std::convertible_to<Vertex>;
+      { t.set_mark(v, m) };
+      { t.nearest_marked_distance(v) } -> std::convertible_to<int64_t>;
+    };
+
+// The full query surface of Table 1's UFO tree row.
+template <class T>
+concept FullDynamicTree =
+    PathQueryable<T> && SubtreeQueryable<T> && NonLocalQueryable<T>;
+
+}  // namespace ufo::core

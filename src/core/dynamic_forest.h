@@ -1,0 +1,146 @@
+// DynamicForest: the library's public entry point.
+//
+// A thin, documented facade over any backend satisfying the DynamicTree
+// concept. It adds the conveniences a downstream user expects — bulk
+// construction from an edge list, guarded optional capabilities, uniform
+// naming — without hiding the backend (which stays reachable via
+// `backend()` for structure-specific operations).
+//
+// Typical use:
+//
+//   #include "core/ufo.h"
+//   ufo::UfoForest f(n);                  // UFO tree backend (default)
+//   f.link(u, v, weight);
+//   if (f.connected(a, b)) auto s = f.path_sum(a, b);
+//
+//   ufo::core::DynamicForest<ufo::seq::LinkCutTree> lct(n);  // any backend
+//
+// Capability queries are compile-time:
+//
+//   if constexpr (ufo::core::BatchDynamic<Backend>) f.batch_link(edges);
+//
+// All operations delegate 1:1 to the backend, so the asymptotic costs are
+// the backend's (Table 1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/capabilities.h"
+#include "graph/forest.h"
+
+namespace ufo::core {
+
+template <DynamicTree Backend>
+class DynamicForest {
+ public:
+  using backend_type = Backend;
+
+  // An empty forest on n isolated vertices, ids 0..n-1.
+  explicit DynamicForest(size_t n) : t_(n) {}
+
+  // A forest initialized with `edges` (must form a forest). Uses one batch
+  // update when the backend is batch-dynamic, individual links otherwise.
+  DynamicForest(size_t n, const EdgeList& edges) : t_(n) {
+    if constexpr (BatchDynamic<Backend>) {
+      t_.batch_link(edges);
+    } else {
+      for (const Edge& e : edges) t_.link(e.u, e.v, e.w);
+    }
+  }
+
+  size_t size() const { return t_.size(); }
+  Backend& backend() { return t_; }
+  const Backend& backend() const { return t_; }
+
+  // --- Updates --------------------------------------------------------------
+  // Adds edge {u, v}; u and v must currently be in different trees.
+  void link(Vertex u, Vertex v, Weight w = 1) { t_.link(u, v, w); }
+  // Removes the existing edge {u, v}.
+  void cut(Vertex u, Vertex v) { t_.cut(u, v); }
+
+  // Batch operations (available iff the backend is batch-dynamic). The
+  // batch must contain at most one update per edge and every ordering of it
+  // must be a valid update sequence (Section 5 preconditions).
+  void batch_link(const EdgeList& edges)
+    requires BatchDynamic<Backend>
+  {
+    t_.batch_link(edges);
+  }
+  void batch_cut(const EdgeList& edges)
+    requires BatchDynamic<Backend>
+  {
+    t_.batch_cut(edges);
+  }
+  void batch_update(const std::vector<Update>& batch)
+    requires BatchDynamic<Backend>
+  {
+    t_.batch_update(batch);
+  }
+
+  void set_vertex_weight(Vertex v, Weight w)
+    requires SubtreeQueryable<Backend>
+  {
+    t_.set_vertex_weight(v, w);
+  }
+
+  // --- Queries ---------------------------------------------------------------
+  bool connected(Vertex u, Vertex v) { return t_.connected(u, v); }
+
+  // Sum / max of edge weights on the u--v path (u, v must be connected).
+  Weight path_sum(Vertex u, Vertex v)
+    requires PathQueryable<Backend>
+  {
+    return t_.path_sum(u, v);
+  }
+  Weight path_max(Vertex u, Vertex v)
+    requires PathQueryable<Backend>
+  {
+    return t_.path_max(u, v);
+  }
+
+  // Sum of vertex weights in the subtree of v when rooted so p is v's
+  // parent.
+  Weight subtree_sum(Vertex v, Vertex p)
+    requires SubtreeQueryable<Backend>
+  {
+    return t_.subtree_sum(v, p);
+  }
+
+  // Non-local queries (App. C query suite).
+  Vertex lca(Vertex u, Vertex v, Vertex r)
+    requires NonLocalQueryable<Backend>
+  {
+    return t_.lca(u, v, r);
+  }
+  int64_t component_diameter(Vertex v)
+    requires NonLocalQueryable<Backend>
+  {
+    return t_.component_diameter(v);
+  }
+  Vertex component_center(Vertex v)
+    requires NonLocalQueryable<Backend>
+  {
+    return t_.component_center(v);
+  }
+  Vertex component_median(Vertex v)
+    requires NonLocalQueryable<Backend>
+  {
+    return t_.component_median(v);
+  }
+  void set_mark(Vertex v, bool marked)
+    requires NonLocalQueryable<Backend>
+  {
+    t_.set_mark(v, marked);
+  }
+  int64_t nearest_marked_distance(Vertex v)
+    requires NonLocalQueryable<Backend>
+  {
+    return t_.nearest_marked_distance(v);
+  }
+
+ private:
+  Backend t_;
+};
+
+}  // namespace ufo::core

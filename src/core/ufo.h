@@ -1,0 +1,35 @@
+// Umbrella header: include this to get the whole library.
+//
+//   UfoForest        — UFO tree backend (the paper's contribution; default
+//                      choice: full query suite, batch-dynamic,
+//                      O(min{log n, D}) updates)
+//   TopologyForest   — topology-tree backend behind the dynamic ternarizer
+//                      (accepts arbitrary degree)
+//   LinkCutForest    — link-cut backend (fastest sequential updates;
+//                      connectivity + path queries only)
+//   SplayTopForest   — splay top tree backend (self-adjusting; path +
+//                      subtree queries)
+#pragma once
+
+#include "core/capabilities.h"
+#include "core/dynamic_forest.h"
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "seq/link_cut_tree.h"
+#include "seq/splay_top_tree.h"
+#include "seq/ternarize.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+
+namespace ufo {
+
+using UfoForest = core::DynamicForest<seq::UfoTree>;
+using TopologyForest = core::DynamicForest<seq::Ternarizer<seq::TopologyTree>>;
+using LinkCutForest = core::DynamicForest<seq::LinkCutTree>;
+using SplayTopForest = core::DynamicForest<seq::SplayTopTree>;
+
+// The headline structure carries the full Table 1 capability row.
+static_assert(core::FullDynamicTree<seq::UfoTree>);
+static_assert(core::BatchDynamic<seq::UfoTree>);
+
+}  // namespace ufo

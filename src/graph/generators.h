@@ -1,0 +1,77 @@
+// Forest and graph generators reproducing the paper's benchmark inputs
+// (Section 6, "Inputs"):
+//   synthetic trees — path, perfect binary, perfect k-ary, star, dandelion,
+//   random degree-3, random unbounded-degree, preferential attachment, and
+//   the Zipf(alpha) diameter-sweep family (Figure 6);
+//   real-world stand-ins — since the proprietary datasets (USA roads, ENWiki,
+//   StackOverflow, Twitter) are not available offline, we generate graphs
+//   with the same structural character (grid = road-like high diameter;
+//   preferential attachment / RMAT = web/social low diameter) and extract the
+//   same two spanning forests the paper uses: breadth-first (BFS) and random
+//   incremental (RIS).
+//
+// All generators are deterministic given a seed. Edge weights default to 1;
+// callers that need weighted inputs can assign weights afterwards.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/forest.h"
+
+namespace ufo::gen {
+
+// --- Synthetic trees (n vertices, n-1 edges each) ----------------------
+
+EdgeList path(size_t n);
+EdgeList perfect_binary(size_t n);          // k-ary with k = 2
+EdgeList kary(size_t n, size_t k);          // vertex i's parent is (i-1)/k
+EdgeList star(size_t n);                    // vertex 0 is the hub
+// A dandelion: a hub with (n-1)/2 pendant leaves plus a path of the
+// remaining vertices hanging off the hub — one high-degree vertex and one
+// long path, stressing both merge rules at once.
+EdgeList dandelion(size_t n);
+// Random tree with maximum degree 3 (uniform attachment among degree < 3).
+EdgeList random_degree3(size_t n, uint64_t seed);
+// Uniform random recursive tree (unbounded degree).
+EdgeList random_unbounded(size_t n, uint64_t seed);
+// Preferential attachment tree (attach proportional to current degree).
+EdgeList pref_attach(size_t n, uint64_t seed);
+// Diameter-sweep family (Fig. 6): node i attaches to a vertex j in [0, i)
+// sampled with P(j) ~ (j+1)^{-alpha}; node ids are then randomly permuted.
+// alpha = 0 is a uniform recursive tree; larger alpha concentrates edges on
+// low ids, lowering the diameter toward a star.
+EdgeList zipf_tree(size_t n, double alpha, uint64_t seed);
+
+// --- Real-world graph stand-ins -----------------------------------------
+
+// 2-D grid graph (road-network stand-in, high diameter).
+EdgeList grid_graph(size_t rows, size_t cols);
+// Preferential-attachment multigraph with out-degree d (web/social
+// stand-in, low diameter). Self-loops and duplicates are filtered.
+EdgeList social_graph(size_t n, size_t degree, uint64_t seed);
+
+// Breadth-first spanning forest of an arbitrary graph, started from a random
+// root per component.
+EdgeList bfs_forest(size_t n, const EdgeList& edges, uint64_t seed);
+// Random-incremental spanning forest: insert edges in random order, keep
+// those that join two components (union-find).
+EdgeList ris_forest(size_t n, const EdgeList& edges, uint64_t seed);
+
+// --- Helpers --------------------------------------------------------------
+
+// Exact forest diameter in edges (two-pass BFS per component).
+size_t forest_diameter(size_t n, const EdgeList& edges);
+
+// Named synthetic suite used by the Fig. 5/7/8 benchmarks.
+struct NamedInput {
+  std::string name;
+  EdgeList edges;
+  size_t n;
+};
+std::vector<NamedInput> synthetic_suite(size_t n, uint64_t seed);
+// The four BFS + four RIS stand-in forests (Fig. 5/8 bottom rows).
+std::vector<NamedInput> realworld_suite(size_t scale, uint64_t seed);
+
+}  // namespace ufo::gen

@@ -1,0 +1,261 @@
+#include "graph/ref_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace ufo {
+
+RefForest::RefForest(size_t n)
+    : adj_(n), vweight_(n, 1), marked_(n, 0) {}
+
+void RefForest::link(Vertex u, Vertex v, Weight w) {
+  assert(u != v && !connected(u, v));
+  adj_[u][v] = w;
+  adj_[v][u] = w;
+}
+
+void RefForest::cut(Vertex u, Vertex v) {
+  assert(has_edge(u, v));
+  adj_[u].erase(v);
+  adj_[v].erase(u);
+}
+
+bool RefForest::has_edge(Vertex u, Vertex v) const {
+  return adj_[u].count(v) > 0;
+}
+
+std::vector<Vertex> RefForest::find_path(Vertex u, Vertex v) const {
+  if (u == v) return {u};
+  std::vector<Vertex> parent(adj_.size(), kNoVertex);
+  std::deque<Vertex> q{u};
+  parent[u] = u;
+  while (!q.empty()) {
+    Vertex x = q.front();
+    q.pop_front();
+    for (const auto& [y, w] : adj_[x]) {
+      (void)w;
+      if (parent[y] == kNoVertex) {
+        parent[y] = x;
+        if (y == v) {
+          std::vector<Vertex> path{v};
+          Vertex cur = v;
+          while (cur != u) {
+            cur = parent[cur];
+            path.push_back(cur);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        q.push_back(y);
+      }
+    }
+  }
+  return {};
+}
+
+bool RefForest::connected(Vertex u, Vertex v) const {
+  return !find_path(u, v).empty();
+}
+
+Weight RefForest::path_sum(Vertex u, Vertex v) const {
+  auto path = find_path(u, v);
+  assert(!path.empty());
+  Weight total = 0;
+  for (size_t i = 1; i < path.size(); ++i)
+    total += adj_[path[i - 1]].at(path[i]);
+  return total;
+}
+
+Weight RefForest::path_max(Vertex u, Vertex v) const {
+  auto path = find_path(u, v);
+  assert(!path.empty());
+  Weight best = std::numeric_limits<Weight>::min();
+  for (size_t i = 1; i < path.size(); ++i)
+    best = std::max(best, adj_[path[i - 1]].at(path[i]));
+  return best;
+}
+
+size_t RefForest::path_length(Vertex u, Vertex v) const {
+  auto path = find_path(u, v);
+  assert(!path.empty());
+  return path.size() - 1;
+}
+
+Weight RefForest::subtree_sum(Vertex v, Vertex p) const {
+  assert(has_edge(v, p));
+  Weight total = 0;
+  std::deque<Vertex> q{v};
+  std::vector<uint8_t> seen(adj_.size(), 0);
+  seen[v] = 1;
+  seen[p] = 1;
+  while (!q.empty()) {
+    Vertex x = q.front();
+    q.pop_front();
+    total += vweight_[x];
+    for (const auto& [y, w] : adj_[x]) {
+      (void)w;
+      if (!seen[y]) {
+        seen[y] = 1;
+        q.push_back(y);
+      }
+    }
+  }
+  return total;
+}
+
+Weight RefForest::subtree_max(Vertex v, Vertex p) const {
+  assert(has_edge(v, p));
+  Weight best = std::numeric_limits<Weight>::min();
+  std::deque<Vertex> q{v};
+  std::vector<uint8_t> seen(adj_.size(), 0);
+  seen[v] = 1;
+  seen[p] = 1;
+  while (!q.empty()) {
+    Vertex x = q.front();
+    q.pop_front();
+    best = std::max(best, vweight_[x]);
+    for (const auto& [y, w] : adj_[x]) {
+      (void)w;
+      if (!seen[y]) {
+        seen[y] = 1;
+        q.push_back(y);
+      }
+    }
+  }
+  return best;
+}
+
+size_t RefForest::subtree_size(Vertex v, Vertex p) const {
+  assert(has_edge(v, p));
+  size_t count = 0;
+  std::deque<Vertex> q{v};
+  std::vector<uint8_t> seen(adj_.size(), 0);
+  seen[v] = 1;
+  seen[p] = 1;
+  while (!q.empty()) {
+    Vertex x = q.front();
+    q.pop_front();
+    ++count;
+    for (const auto& [y, w] : adj_[x]) {
+      (void)w;
+      if (!seen[y]) {
+        seen[y] = 1;
+        q.push_back(y);
+      }
+    }
+  }
+  return count;
+}
+
+Vertex RefForest::lca(Vertex u, Vertex v, Vertex r) const {
+  auto pu = find_path(r, u);
+  auto pv = find_path(r, v);
+  assert(!pu.empty() && !pv.empty());
+  Vertex best = r;
+  for (size_t i = 0; i < std::min(pu.size(), pv.size()); ++i) {
+    if (pu[i] != pv[i]) break;
+    best = pu[i];
+  }
+  return best;
+}
+
+std::vector<Vertex> RefForest::component(Vertex v) const {
+  std::vector<Vertex> comp;
+  std::deque<Vertex> q{v};
+  std::vector<uint8_t> seen(adj_.size(), 0);
+  seen[v] = 1;
+  while (!q.empty()) {
+    Vertex x = q.front();
+    q.pop_front();
+    comp.push_back(x);
+    for (const auto& [y, w] : adj_[x]) {
+      (void)w;
+      if (!seen[y]) {
+        seen[y] = 1;
+        q.push_back(y);
+      }
+    }
+  }
+  return comp;
+}
+
+namespace {
+// Hop distances from src within the component, as a map over component
+// vertices (dense vector keyed by vertex id; untouched = unreachable).
+std::vector<int64_t> bfs_dist(
+    const std::vector<std::unordered_map<Vertex, Weight>>& adj, Vertex src) {
+  std::vector<int64_t> dist(adj.size(), -1);
+  std::deque<Vertex> q{src};
+  dist[src] = 0;
+  while (!q.empty()) {
+    Vertex x = q.front();
+    q.pop_front();
+    for (const auto& [y, w] : adj[x]) {
+      (void)w;
+      if (dist[y] < 0) {
+        dist[y] = dist[x] + 1;
+        q.push_back(y);
+      }
+    }
+  }
+  return dist;
+}
+}  // namespace
+
+size_t RefForest::component_diameter(Vertex v) const {
+  auto d1 = bfs_dist(adj_, v);
+  Vertex far = v;
+  for (Vertex x = 0; x < adj_.size(); ++x)
+    if (d1[x] > d1[far]) far = x;
+  auto d2 = bfs_dist(adj_, far);
+  int64_t best = 0;
+  for (Vertex x = 0; x < adj_.size(); ++x) best = std::max(best, d2[x]);
+  return static_cast<size_t>(best);
+}
+
+Vertex RefForest::component_center(Vertex v) const {
+  auto comp = component(v);
+  Vertex best = v;
+  int64_t best_ecc = std::numeric_limits<int64_t>::max();
+  for (Vertex c : comp) {
+    auto d = bfs_dist(adj_, c);
+    int64_t ecc = 0;
+    for (Vertex x : comp) ecc = std::max(ecc, d[x]);
+    if (ecc < best_ecc || (ecc == best_ecc && c < best)) {
+      best_ecc = ecc;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Vertex RefForest::component_median(Vertex v) const {
+  auto comp = component(v);
+  Vertex best = v;
+  int64_t best_cost = std::numeric_limits<int64_t>::max();
+  for (Vertex c : comp) {
+    auto d = bfs_dist(adj_, c);
+    int64_t cost = 0;
+    for (Vertex x : comp) cost += d[x] * vweight_[x];
+    if (cost < best_cost || (cost == best_cost && c < best)) {
+      best_cost = cost;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int64_t RefForest::nearest_marked_distance(Vertex v) const {
+  auto d = bfs_dist(adj_, v);
+  int64_t best = -1;
+  for (Vertex x = 0; x < adj_.size(); ++x) {
+    if (d[x] >= 0 && marked_[x]) {
+      if (best < 0 || d[x] < best) best = d[x];
+    }
+  }
+  return best;
+}
+
+}  // namespace ufo

@@ -1,0 +1,72 @@
+// RefForest: a deliberately naive dynamic forest answering every query by
+// breadth-first search. It is the differential-testing oracle for all the
+// real dynamic-tree structures — O(n) per operation, but obviously correct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/forest.h"
+
+namespace ufo {
+
+class RefForest {
+ public:
+  explicit RefForest(size_t n);
+
+  size_t size() const { return adj_.size(); }
+
+  void link(Vertex u, Vertex v, Weight w = 1);
+  void cut(Vertex u, Vertex v);
+  bool has_edge(Vertex u, Vertex v) const;
+
+  bool connected(Vertex u, Vertex v) const;
+
+  // Path aggregates over edge weights (u--v must be connected).
+  Weight path_sum(Vertex u, Vertex v) const;
+  Weight path_max(Vertex u, Vertex v) const;
+  // Number of edges on the u--v path.
+  size_t path_length(Vertex u, Vertex v) const;
+
+  // Vertex weights (for subtree/median queries). Default weight 1.
+  void set_vertex_weight(Vertex v, Weight w) { vweight_[v] = w; }
+  Weight vertex_weight(Vertex v) const { return vweight_[v]; }
+
+  // Aggregate over the subtree of v when the tree is rooted so that p is
+  // v's parent (v and p must be adjacent).
+  Weight subtree_sum(Vertex v, Vertex p) const;
+  Weight subtree_max(Vertex v, Vertex p) const;
+  size_t subtree_size(Vertex v, Vertex p) const;
+
+  // LCA of u and v in the tree rooted at r (all three connected).
+  Vertex lca(Vertex u, Vertex v, Vertex r) const;
+
+  // Unweighted eccentricity-style queries on v's component.
+  size_t component_diameter(Vertex v) const;   // in edges
+  Vertex component_center(Vertex v) const;     // min-max-distance vertex
+  Vertex component_median(Vertex v) const;     // min sum of weighted distances
+
+  // Marked-vertex queries.
+  void set_mark(Vertex v, bool marked) { marked_[v] = marked; }
+  bool is_marked(Vertex v) const { return marked_[v]; }
+  // Distance (in edge weights... the paper uses hop distance; we use hops) to
+  // the nearest marked vertex in v's component, or -1 if none.
+  int64_t nearest_marked_distance(Vertex v) const;
+
+  // All vertices of v's component (BFS order).
+  std::vector<Vertex> component(Vertex v) const;
+
+  size_t degree(Vertex v) const { return adj_[v].size(); }
+
+ private:
+  // path from u to v as vertex sequence; empty if not connected.
+  std::vector<Vertex> find_path(Vertex u, Vertex v) const;
+
+  std::vector<std::unordered_map<Vertex, Weight>> adj_;
+  std::vector<Weight> vweight_;
+  std::vector<uint8_t> marked_;
+};
+
+}  // namespace ufo

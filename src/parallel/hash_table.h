@@ -1,0 +1,156 @@
+// A phase-concurrent open-addressing hash set for 64-bit keys, in the style
+// of Gil--Matias--Vishkin / the ParlayLib hash table: concurrent inserts are
+// lock-free (linear probing with CAS), deletes use tombstones, and resizing
+// happens only at phase boundaries (single-threaded callers). This matches
+// how the paper's batch-update algorithms use tables: one phase inserts, a
+// barrier, then another phase reads or deletes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ufo::par {
+
+class ConcurrentSet {
+ public:
+  static constexpr uint64_t kEmpty = ~0ULL;
+  static constexpr uint64_t kTombstone = ~0ULL - 1;
+
+  explicit ConcurrentSet(size_t capacity_hint = 16) { reserve(capacity_hint); }
+
+  ConcurrentSet(const ConcurrentSet& other) { copy_from(other); }
+  ConcurrentSet& operator=(const ConcurrentSet& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
+  // Phase-concurrent insert. Returns true if the key was newly inserted.
+  // Keys kEmpty/kTombstone are reserved. The caller must guarantee enough
+  // capacity (use reserve() at a phase boundary before a concurrent phase).
+  bool insert(uint64_t key) {
+    size_t mask = slots_.size() - 1;
+    size_t i = util::hash64(key) & mask;
+    // Scan the full probe chain before claiming a tombstone: the key may
+    // sit past tombstones left by earlier erases, and claiming the first
+    // tombstone would duplicate it (a later erase would remove only one
+    // copy and contains() would still find the other).
+    size_t tomb = SIZE_MAX;
+    for (;;) {
+      uint64_t cur = slots_[i].load(std::memory_order_relaxed);
+      if (cur == key) return false;
+      if (cur == kTombstone && tomb == SIZE_MAX) tomb = i;
+      if (cur == kEmpty) {
+        size_t target = tomb != SIZE_MAX ? tomb : i;
+        uint64_t expected = slots_[target].load(std::memory_order_relaxed);
+        if (expected != kEmpty && expected != kTombstone) {
+          // Lost the remembered slot to a concurrent insert; rescan.
+          tomb = SIZE_MAX;
+          i = util::hash64(key) & mask;
+          continue;
+        }
+        if (slots_[target].compare_exchange_strong(
+                expected, key, std::memory_order_acq_rel)) {
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (expected == key) return false;
+        continue;  // raced on the slot; retry
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Phase-concurrent erase (tombstone). Returns true if the key was present.
+  bool erase(uint64_t key) {
+    size_t mask = slots_.size() - 1;
+    size_t i = util::hash64(key) & mask;
+    for (;;) {
+      uint64_t cur = slots_[i].load(std::memory_order_relaxed);
+      if (cur == kEmpty) return false;
+      if (cur == key) {
+        uint64_t expected = key;
+        if (slots_[i].compare_exchange_strong(expected, kTombstone,
+                                              std::memory_order_acq_rel)) {
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        }
+        continue;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool contains(uint64_t key) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = util::hash64(key) & mask;
+    for (;;) {
+      uint64_t cur = slots_[i].load(std::memory_order_relaxed);
+      if (cur == key) return true;
+      if (cur == kEmpty) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return slots_.size(); }
+
+  // Single-threaded (phase boundary): grow so that `n` keys fit with load
+  // factor <= 1/2, rehashing live keys and dropping tombstones.
+  void reserve(size_t n) {
+    size_t want = 16;
+    while (want < 2 * (n + 1)) want <<= 1;
+    if (want <= slots_.size() && 2 * (size() + n) <= slots_.size()) return;
+    std::vector<uint64_t> live = elements();
+    std::vector<std::atomic<uint64_t>> fresh(want);
+    slots_.swap(fresh);
+    for (auto& s : slots_) s.store(kEmpty, std::memory_order_relaxed);
+    size_.store(0, std::memory_order_relaxed);
+    for (uint64_t k : live) insert(k);
+  }
+
+  // Snapshot of live keys (single-threaded or read-only phase).
+  std::vector<uint64_t> elements() const {
+    std::vector<uint64_t> out;
+    out.reserve(size());
+    for (const auto& s : slots_) {
+      uint64_t v = s.load(std::memory_order_relaxed);
+      if (v != kEmpty && v != kTombstone) out.push_back(v);
+    }
+    return out;
+  }
+
+  // Visit every live key (read-only phase).
+  template <class F>
+  void for_each(F&& f) const {
+    for (const auto& s : slots_) {
+      uint64_t v = s.load(std::memory_order_relaxed);
+      if (v != kEmpty && v != kTombstone) f(v);
+    }
+  }
+
+  void clear() {
+    for (auto& s : slots_) s.store(kEmpty, std::memory_order_relaxed);
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t memory_bytes() const {
+    return slots_.size() * sizeof(std::atomic<uint64_t>) + sizeof(*this);
+  }
+
+ private:
+  void copy_from(const ConcurrentSet& other) {
+    slots_ = std::vector<std::atomic<uint64_t>>(other.slots_.size());
+    for (size_t i = 0; i < slots_.size(); ++i)
+      slots_[i].store(other.slots_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    size_.store(other.size(), std::memory_order_relaxed);
+  }
+
+  std::vector<std::atomic<uint64_t>> slots_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace ufo::par

@@ -1,0 +1,61 @@
+#include "parallel/list_ranking.h"
+
+#include "parallel/scheduler.h"
+
+namespace ufo::par {
+
+std::vector<uint32_t> list_rank(const std::vector<uint32_t>& next) {
+  size_t n = next.size();
+  // succ/rank evolve by pointer jumping: after round r, rank[i] counts the
+  // nodes within 2^r hops, and succ[i] points 2^r hops ahead (or chain end).
+  // We rank from each node *forward* to the tail, then convert: rank-from-
+  // head = (chain length - 1) - rank-to-tail, computed per chain head.
+  //
+  // Simpler equivalent: reverse pointers so ranking runs from heads.
+  std::vector<uint32_t> pred(n, kListEnd);
+  for (size_t i = 0; i < n; ++i)
+    if (next[i] != kListEnd) pred[next[i]] = static_cast<uint32_t>(i);
+
+  std::vector<uint32_t> succ = pred;  // jump toward the head
+  std::vector<uint32_t> rank(n, 0);
+  parallel_for(0, n, [&](size_t i) { rank[i] = succ[i] == kListEnd ? 0 : 1; });
+
+  bool changed = true;
+  std::vector<uint32_t> succ2(n), rank2(n);
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {  // detect if any jump remains
+      if (succ[i] != kListEnd) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) break;
+    parallel_for(0, n, [&](size_t i) {
+      if (succ[i] != kListEnd) {
+        rank2[i] = rank[i] + rank[succ[i]];
+        succ2[i] = succ[succ[i]];
+      } else {
+        rank2[i] = rank[i];
+        succ2[i] = kListEnd;
+      }
+    });
+    succ.swap(succ2);
+    rank.swap(rank2);
+  }
+  return rank;
+}
+
+std::vector<uint32_t> chain_maximal_matching(
+    const std::vector<uint32_t>& next) {
+  size_t n = next.size();
+  std::vector<uint32_t> rank = list_rank(next);
+  std::vector<uint32_t> match(n, kListEnd);
+  parallel_for(0, n, [&](size_t i) {
+    if (rank[i] % 2 == 0 && next[i] != kListEnd)
+      match[i] = next[i];
+  });
+  return match;
+}
+
+}  // namespace ufo::par

@@ -1,0 +1,32 @@
+// Parallel list ranking and chain maximal matching.
+//
+// The batch-update algorithms recluster the degree <= 2 remainder of each
+// level, which forms a collection of linked lists (chains); a maximal
+// matching over each chain pairs adjacent clusters for merging (Section 5.1).
+// list_rank implements Wyllie-style pointer jumping; chain matching pairs
+// even-ranked nodes with their successors, which is exactly the maximal
+// matching the sequential algorithm would find greedily.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ufo::par {
+
+inline constexpr uint32_t kListEnd = ~0u;
+
+// Given successor pointers `next` (kListEnd terminates a chain) over disjoint
+// chains, returns rank[i] = #hops from the head of i's chain to i. Nodes not
+// on any chain should have next[i] == kListEnd and not be pointed to.
+// O(n log n) work, O(log n) rounds of pointer jumping.
+std::vector<uint32_t> list_rank(const std::vector<uint32_t>& next);
+
+// Maximal matching over chains: given `next` successor pointers, returns
+// match[i] = the node i is paired with (its successor), or kListEnd if i is
+// unmatched or is the second element of a pair. Pairs are (even rank, odd
+// rank) so every chain of length >= 2 gets >= floor(len/2) pairs — a maximal
+// matching on each chain.
+std::vector<uint32_t> chain_maximal_matching(const std::vector<uint32_t>& next);
+
+}  // namespace ufo::par

@@ -1,0 +1,123 @@
+#include "parallel/scheduler.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ufo::par {
+
+namespace {
+
+// A centralized task pool. Simple by design: at laptop scale the contraction
+// algorithms spend their time in user work, not in scheduling, and a mutex
+// queue keeps the helping logic easy to reason about. The public API matches
+// a work-stealing scheduler, so the pool can be swapped out without touching
+// any algorithm code.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int workers() const { return workers_; }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  // Try to run one pending task. Returns false if the queue was empty.
+  bool try_run_one() {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tasks_.empty()) return false;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    return true;
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+ private:
+  Pool() {
+    workers_ = default_workers();
+    for (int i = 1; i < workers_; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  static int default_workers() {
+    if (const char* env = std::getenv("UFOTREE_NUM_THREADS")) {
+      int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int num_workers() { return Pool::instance().workers(); }
+
+namespace internal {
+
+void submit(std::function<void()> task) {
+  Pool::instance().submit(std::move(task));
+}
+
+void help_while(const std::atomic<bool>& done) {
+  auto& pool = Pool::instance();
+  while (!done.load(std::memory_order_acquire)) {
+    if (!pool.try_run_one()) std::this_thread::yield();
+  }
+}
+
+void help_while_counter(const std::atomic<size_t>& remaining) {
+  auto& pool = Pool::instance();
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    if (!pool.try_run_one()) std::this_thread::yield();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace ufo::par

@@ -1,0 +1,179 @@
+#include "seq/ett_skiplist.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/random.h"
+
+namespace ufo::seq {
+
+int SkipListSeq::random_height() {
+  uint64_t bits = util::hash64(rng_state_++);
+  int h = 1;
+  while ((bits & 1) && h < kMaxLevel) {
+    bits >>= 1;
+    ++h;
+  }
+  return h;
+}
+
+uint32_t SkipListSeq::make(Weight value, bool is_loop) {
+  uint32_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& nd = nodes_[id];
+  nd.height = static_cast<uint8_t>(random_height());
+  nd.is_loop = is_loop;
+  nd.value = value;
+  std::memset(nd.next, 0, sizeof(nd.next));
+  std::memset(nd.prev, 0, sizeof(nd.prev));
+  return id;
+}
+
+void SkipListSeq::erase(uint32_t x) {
+  assert(nodes_[x].next[0] == 0 && nodes_[x].prev[0] == 0);
+  free_.push_back(x);
+}
+
+uint32_t SkipListSeq::find_root(uint32_t x) const {
+  // Backward search taking the highest available left link each hop.
+  uint32_t u = x;
+  for (;;) {
+    const Node& nd = nodes_[u];
+    int l = nd.height - 1;
+    while (l >= 0 && nd.prev[l] == 0) --l;
+    if (l < 0) return u;
+    u = nd.prev[l];
+  }
+}
+
+std::pair<uint32_t, uint32_t> SkipListSeq::split_before(uint32_t x) {
+  Node& xnode = nodes_[x];
+  uint32_t left_any = xnode.prev[0];
+  if (left_any == 0) return {0, x};
+  // preds[l] = nearest node strictly left of x with height > l.
+  uint32_t preds[kMaxLevel];
+  preds[0] = xnode.prev[0];
+  for (int l = 1; l < kMaxLevel; ++l) {
+    uint32_t p = preds[l - 1];
+    while (p != 0 && nodes_[p].height <= l) p = nodes_[p].prev[l - 1];
+    preds[l] = p;
+  }
+  int hx = xnode.height;
+  for (int l = 0; l < kMaxLevel; ++l) {
+    if (l < hx) {
+      uint32_t p = xnode.prev[l];
+      if (p != 0) {
+        nodes_[p].next[l] = 0;
+        xnode.prev[l] = 0;
+      }
+    } else {
+      uint32_t p = preds[l];
+      if (p == 0) break;  // no taller left towers remain
+      uint32_t q = nodes_[p].next[l];
+      if (q != 0) {
+        nodes_[p].next[l] = 0;
+        nodes_[q].prev[l] = 0;
+      }
+    }
+  }
+  return {left_any, x};
+}
+
+std::pair<uint32_t, uint32_t> SkipListSeq::split_after(uint32_t x) {
+  Node& xnode = nodes_[x];
+  uint32_t right_any = xnode.next[0];
+  if (right_any == 0) return {x, 0};
+  uint32_t preds[kMaxLevel];
+  preds[0] = xnode.prev[0];
+  for (int l = 1; l < kMaxLevel; ++l) {
+    uint32_t p = preds[l - 1];
+    while (p != 0 && nodes_[p].height <= l) p = nodes_[p].prev[l - 1];
+    preds[l] = p;
+  }
+  int hx = xnode.height;
+  for (int l = 0; l < kMaxLevel; ++l) {
+    if (l < hx) {
+      uint32_t q = xnode.next[l];
+      if (q != 0) {
+        xnode.next[l] = 0;
+        nodes_[q].prev[l] = 0;
+      }
+    } else {
+      uint32_t p = preds[l];
+      if (p == 0) break;
+      uint32_t q = nodes_[p].next[l];
+      if (q != 0) {  // q is strictly right of x (x is shorter than level l)
+        nodes_[p].next[l] = 0;
+        nodes_[q].prev[l] = 0;
+      }
+    }
+  }
+  return {x, right_any};
+}
+
+uint32_t SkipListSeq::join(uint32_t a, uint32_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  // Last element of a's sequence: forward search via highest right links.
+  uint32_t tail = a;
+  for (;;) {
+    const Node& nd = nodes_[tail];
+    int l = nd.height - 1;
+    while (l >= 0 && nd.next[l] == 0) --l;
+    if (l < 0) break;
+    tail = nd.next[l];
+  }
+  uint32_t head = find_root(b);
+  assert(tail != head);
+  // tails[l]: last node of A with height > l; heads[l]: first of B likewise.
+  uint32_t tails[kMaxLevel], heads[kMaxLevel];
+  tails[0] = tail;
+  heads[0] = head;
+  for (int l = 1; l < kMaxLevel; ++l) {
+    uint32_t t = tails[l - 1];
+    while (t != 0 && nodes_[t].height <= l) t = nodes_[t].prev[l - 1];
+    tails[l] = t;
+    uint32_t h = heads[l - 1];
+    while (h != 0 && nodes_[h].height <= l) h = nodes_[h].next[l - 1];
+    heads[l] = h;
+  }
+  for (int l = 0; l < kMaxLevel; ++l) {
+    uint32_t t = tails[l], h = heads[l];
+    if (t == 0 || h == 0) continue;
+    assert(nodes_[t].next[l] == 0 && nodes_[h].prev[l] == 0);
+    nodes_[t].next[l] = h;
+    nodes_[h].prev[l] = t;
+  }
+  return a;
+}
+
+Weight SkipListSeq::total(uint32_t x) const {
+  if (x == 0) return 0;
+  Weight sum = 0;
+  for (uint32_t u = find_root(x); u != 0; u = nodes_[u].next[0])
+    sum += nodes_[u].value;
+  return sum;
+}
+
+size_t SkipListSeq::loop_count(uint32_t x) const {
+  if (x == 0) return 0;
+  size_t count = 0;
+  for (uint32_t u = find_root(x); u != 0; u = nodes_[u].next[0])
+    if (nodes_[u].is_loop) ++count;
+  return count;
+}
+
+size_t SkipListSeq::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         free_.capacity() * sizeof(uint32_t) + sizeof(*this);
+}
+
+template class EulerTourTree<SkipListSeq>;
+
+}  // namespace ufo::seq

@@ -1,0 +1,59 @@
+// Skip-list sequence backend for Euler-tour trees, plus the EttSkipList
+// alias. This mirrors the backend of the batch-parallel ETT of Tseng et al.:
+// geometric tower heights, expected O(log n) split/join via seam surgery.
+//
+// The canonical representative of a sequence is its first element, reached
+// by a backward search that always takes the highest available left link
+// (expected O(log n) hops). Aggregates (total / loop_count) are computed by
+// a level-0 walk: exact but linear — acceptable because the sequential
+// benchmarks only measure updates for this backend, matching the paper's
+// use of the skip-list ETT as an update-speed baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/forest.h"
+#include "seq/ett_core.h"
+
+namespace ufo::seq {
+
+class SkipListSeq {
+ public:
+  static constexpr int kMaxLevel = 24;
+
+  uint32_t make(Weight value, bool is_loop);
+  void erase(uint32_t x);
+  void set_value(uint32_t x, Weight w) { nodes_[x].value = w; }
+  uint32_t find_root(uint32_t x) const;  // first element of the sequence
+  bool same_sequence(uint32_t x, uint32_t y) const {
+    return find_root(x) == find_root(y);
+  }
+  std::pair<uint32_t, uint32_t> split_before(uint32_t x);
+  std::pair<uint32_t, uint32_t> split_after(uint32_t x);
+  uint32_t join(uint32_t a, uint32_t b);
+  Weight total(uint32_t x) const;
+  size_t loop_count(uint32_t x) const;
+  size_t memory_bytes() const;
+
+ private:
+  struct Node {
+    uint8_t height = 1;  // number of levels in this tower (1..kMaxLevel)
+    bool is_loop = false;
+    Weight value = 0;
+    uint32_t next[kMaxLevel];
+    uint32_t prev[kMaxLevel];
+  };
+
+  int random_height();
+
+  std::vector<Node> nodes_{1};
+  std::vector<uint32_t> free_;
+  uint64_t rng_state_ = 0xf00dcafe;
+};
+
+using EttSkipList = EulerTourTree<SkipListSeq>;
+
+}  // namespace ufo::seq

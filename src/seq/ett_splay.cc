@@ -1,0 +1,148 @@
+#include "seq/ett_splay.h"
+
+#include <cassert>
+
+namespace ufo::seq {
+
+uint32_t SplaySeq::make(Weight value, bool is_loop) {
+  uint32_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& nd = nodes_[id];
+  nd.is_loop = is_loop;
+  nd.value = value;
+  nd.sum = value;
+  nd.loops = is_loop ? 1 : 0;
+  return id;
+}
+
+void SplaySeq::erase(uint32_t x) {
+  assert(nodes_[x].parent == 0 && nodes_[x].left == 0 && nodes_[x].right == 0);
+  nodes_[x] = Node{};
+  free_.push_back(x);
+}
+
+void SplaySeq::set_value(uint32_t x, Weight w) {
+  splay(x);
+  nodes_[x].value = w;
+  pull(x);
+}
+
+void SplaySeq::pull(uint32_t x) {
+  Node& nd = nodes_[x];
+  nd.sum = nd.value + nodes_[nd.left].sum + nodes_[nd.right].sum;
+  nd.loops = (nd.is_loop ? 1u : 0u) + nodes_[nd.left].loops +
+             nodes_[nd.right].loops;
+}
+
+void SplaySeq::rotate(uint32_t x) {
+  uint32_t p = nodes_[x].parent;
+  uint32_t g = nodes_[p].parent;
+  int dir = nodes_[p].right == x ? 1 : 0;
+  uint32_t mid = dir ? nodes_[x].left : nodes_[x].right;
+  if (g) {
+    if (nodes_[g].left == p)
+      nodes_[g].left = x;
+    else
+      nodes_[g].right = x;
+  }
+  nodes_[x].parent = g;
+  if (dir) {
+    nodes_[x].left = p;
+    nodes_[p].right = mid;
+  } else {
+    nodes_[x].right = p;
+    nodes_[p].left = mid;
+  }
+  nodes_[p].parent = x;
+  if (mid) nodes_[mid].parent = p;
+  pull(p);
+  pull(x);
+}
+
+void SplaySeq::splay(uint32_t x) {
+  while (nodes_[x].parent != 0) {
+    uint32_t p = nodes_[x].parent;
+    uint32_t g = nodes_[p].parent;
+    if (g != 0) {
+      bool zigzig = (nodes_[g].right == p) == (nodes_[p].right == x);
+      rotate(zigzig ? p : x);
+    }
+    rotate(x);
+  }
+}
+
+uint32_t SplaySeq::find_root(uint32_t x) {
+  splay(x);
+  return x;
+}
+
+bool SplaySeq::same_sequence(uint32_t x, uint32_t y) {
+  if (x == y) return true;
+  splay(x);
+  splay(y);
+  return nodes_[x].parent != 0;
+}
+
+std::pair<uint32_t, uint32_t> SplaySeq::split_before(uint32_t x) {
+  splay(x);
+  uint32_t l = nodes_[x].left;
+  if (l) {
+    nodes_[l].parent = 0;
+    nodes_[x].left = 0;
+    pull(x);
+  }
+  return {l, x};
+}
+
+std::pair<uint32_t, uint32_t> SplaySeq::split_after(uint32_t x) {
+  splay(x);
+  uint32_t r = nodes_[x].right;
+  if (r) {
+    nodes_[r].parent = 0;
+    nodes_[x].right = 0;
+    pull(x);
+  }
+  return {x, r};
+}
+
+uint32_t SplaySeq::join(uint32_t a, uint32_t b) {
+  if (a == 0) return b == 0 ? 0 : find_root(b);
+  if (b == 0) return find_root(a);
+  // Splay the last element of a's sequence, then hang b under it.
+  splay(a);
+  uint32_t last = a;
+  while (nodes_[last].right != 0) last = nodes_[last].right;
+  splay(last);
+  uint32_t broot = find_root(b);
+  assert(broot != last);
+  nodes_[last].right = broot;
+  nodes_[broot].parent = last;
+  pull(last);
+  return last;
+}
+
+Weight SplaySeq::total(uint32_t x) {
+  if (x == 0) return 0;
+  return nodes_[find_root(x)].sum;
+}
+
+size_t SplaySeq::loop_count(uint32_t x) {
+  if (x == 0) return 0;
+  return nodes_[find_root(x)].loops;
+}
+
+size_t SplaySeq::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         free_.capacity() * sizeof(uint32_t) + sizeof(*this);
+}
+
+template class EulerTourTree<SplaySeq>;
+
+}  // namespace ufo::seq

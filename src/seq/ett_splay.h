@@ -1,0 +1,48 @@
+// Splay-tree sequence backend for Euler-tour trees, plus the EttSplay alias.
+// Amortized O(log n) split/join; connectivity uses the splay-to-root trick.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/forest.h"
+#include "seq/ett_core.h"
+
+namespace ufo::seq {
+
+class SplaySeq {
+ public:
+  uint32_t make(Weight value, bool is_loop);
+  void erase(uint32_t x);
+  void set_value(uint32_t x, Weight w);
+  uint32_t find_root(uint32_t x);  // splays x; canonical until next mutation
+  bool same_sequence(uint32_t x, uint32_t y);
+  std::pair<uint32_t, uint32_t> split_before(uint32_t x);
+  std::pair<uint32_t, uint32_t> split_after(uint32_t x);
+  uint32_t join(uint32_t a, uint32_t b);
+  Weight total(uint32_t x);
+  size_t loop_count(uint32_t x);
+  size_t memory_bytes() const;
+
+ private:
+  struct Node {
+    uint32_t parent = 0, left = 0, right = 0;
+    bool is_loop = false;
+    Weight value = 0;
+    Weight sum = 0;
+    uint32_t loops = 0;
+  };
+
+  void pull(uint32_t x);
+  void rotate(uint32_t x);
+  void splay(uint32_t x);
+
+  std::vector<Node> nodes_{1};
+  std::vector<uint32_t> free_;
+};
+
+using EttSplay = EulerTourTree<SplaySeq>;
+
+}  // namespace ufo::seq

@@ -1,0 +1,160 @@
+#include "seq/ett_treap.h"
+
+#include <cassert>
+
+#include "util/random.h"
+
+namespace ufo::seq {
+
+uint32_t TreapSeq::make(Weight value, bool is_loop) {
+  uint32_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& nd = nodes_[id];
+  nd.priority = static_cast<uint32_t>(util::hash64(next_priority_seed_++));
+  nd.is_loop = is_loop;
+  nd.value = value;
+  nd.sum = value;
+  nd.loops = is_loop ? 1 : 0;
+  return id;
+}
+
+void TreapSeq::erase(uint32_t x) {
+  assert(nodes_[x].parent == 0 && nodes_[x].left == 0 && nodes_[x].right == 0);
+  nodes_[x] = Node{};
+  free_.push_back(x);
+}
+
+void TreapSeq::set_value(uint32_t x, Weight w) {
+  nodes_[x].value = w;
+  // Refresh aggregates along the root path.
+  for (uint32_t cur = x; cur != 0; cur = nodes_[cur].parent) pull(cur);
+}
+
+void TreapSeq::pull(uint32_t x) {
+  Node& nd = nodes_[x];
+  nd.sum = nd.value + nodes_[nd.left].sum + nodes_[nd.right].sum;
+  nd.loops = (nd.is_loop ? 1u : 0u) + nodes_[nd.left].loops +
+             nodes_[nd.right].loops;
+}
+
+uint32_t TreapSeq::find_root(uint32_t x) const {
+  while (nodes_[x].parent != 0) x = nodes_[x].parent;
+  return x;
+}
+
+std::pair<uint32_t, uint32_t> TreapSeq::split_before(uint32_t x) {
+  // Bottom-up split by node: peel x's left subtree off, then fold each
+  // ancestor into the correct side. Attaching previously-processed nodes
+  // (always descendants of the current ancestor) below it preserves the
+  // heap-priority invariant.
+  uint32_t left_root = nodes_[x].left;
+  if (left_root) nodes_[left_root].parent = 0;
+  nodes_[x].left = 0;
+  pull(x);
+  uint32_t right_root = x;
+  uint32_t cur = x;
+  uint32_t p = nodes_[x].parent;
+  nodes_[x].parent = 0;
+  while (p != 0) {
+    uint32_t next = nodes_[p].parent;
+    nodes_[p].parent = 0;
+    bool cur_was_right = (nodes_[p].right == cur);
+    if (cur_was_right) {
+      // p and p's left side precede x.
+      nodes_[p].right = left_root;
+      if (left_root) nodes_[left_root].parent = p;
+      pull(p);
+      left_root = p;
+    } else {
+      nodes_[p].left = right_root;
+      if (right_root) nodes_[right_root].parent = p;
+      pull(p);
+      right_root = p;
+    }
+    cur = p;
+    p = next;
+  }
+  return {left_root, right_root};
+}
+
+std::pair<uint32_t, uint32_t> TreapSeq::split_after(uint32_t x) {
+  uint32_t right_root = nodes_[x].right;
+  if (right_root) nodes_[right_root].parent = 0;
+  nodes_[x].right = 0;
+  pull(x);
+  uint32_t left_root = x;
+  uint32_t cur = x;
+  uint32_t p = nodes_[x].parent;
+  nodes_[x].parent = 0;
+  while (p != 0) {
+    uint32_t next = nodes_[p].parent;
+    nodes_[p].parent = 0;
+    bool cur_was_right = (nodes_[p].right == cur);
+    if (cur_was_right) {
+      nodes_[p].right = left_root;
+      if (left_root) nodes_[left_root].parent = p;
+      pull(p);
+      left_root = p;
+    } else {
+      nodes_[p].left = right_root;
+      if (right_root) nodes_[right_root].parent = p;
+      pull(p);
+      right_root = p;
+    }
+    cur = p;
+    p = next;
+  }
+  return {left_root, right_root};
+}
+
+uint32_t TreapSeq::join_roots(uint32_t a, uint32_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  if (nodes_[a].priority > nodes_[b].priority) {
+    uint32_t r = join_roots(nodes_[a].right, b);
+    nodes_[a].right = r;
+    nodes_[r].parent = a;
+    pull(a);
+    return a;
+  }
+  uint32_t l = join_roots(a, nodes_[b].left);
+  nodes_[b].left = l;
+  nodes_[l].parent = b;
+  pull(b);
+  return b;
+}
+
+uint32_t TreapSeq::join(uint32_t a, uint32_t b) {
+  if (a != 0) a = find_root(a);
+  if (b != 0) b = find_root(b);
+  assert(a == 0 || b == 0 || a != b);
+  return join_roots(a, b);
+}
+
+Weight TreapSeq::total(uint32_t x) const {
+  if (x == 0) return 0;
+  return nodes_[find_root(x)].sum;
+}
+
+size_t TreapSeq::loop_count(uint32_t x) const {
+  if (x == 0) return 0;
+  return nodes_[find_root(x)].loops;
+}
+
+size_t TreapSeq::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         free_.capacity() * sizeof(uint32_t) + sizeof(*this);
+}
+
+// Explicit instantiation of the ETT over this backend keeps template costs
+// in one translation unit.
+template class EulerTourTree<TreapSeq>;
+
+}  // namespace ufo::seq

@@ -1,0 +1,53 @@
+// Treap sequence backend for Euler-tour trees, plus the concrete EttTreap
+// alias. Randomized heap priorities give O(log n) expected split/join.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/forest.h"
+#include "seq/ett_core.h"
+
+namespace ufo::seq {
+
+class TreapSeq {
+ public:
+  uint32_t make(Weight value, bool is_loop);
+  void erase(uint32_t x);
+  void set_value(uint32_t x, Weight w);
+  uint32_t find_root(uint32_t x) const;
+  bool same_sequence(uint32_t x, uint32_t y) const {
+    return find_root(x) == find_root(y);
+  }
+  // Splits the sequence containing x. Returns roots; 0 = empty side.
+  std::pair<uint32_t, uint32_t> split_before(uint32_t x);
+  std::pair<uint32_t, uint32_t> split_after(uint32_t x);
+  // Joins the sequences containing a and b (either may be 0). Returns root.
+  uint32_t join(uint32_t a, uint32_t b);
+  Weight total(uint32_t x) const;
+  size_t loop_count(uint32_t x) const;
+  size_t memory_bytes() const;
+
+ private:
+  struct Node {
+    uint32_t parent = 0, left = 0, right = 0;
+    uint32_t priority = 0;
+    bool is_loop = false;
+    Weight value = 0;
+    Weight sum = 0;      // subtree sum of values
+    uint32_t loops = 0;  // subtree count of loop elements
+  };
+
+  void pull(uint32_t x);
+  uint32_t join_roots(uint32_t a, uint32_t b);
+
+  std::vector<Node> nodes_{1};  // id 0 is the null sentinel
+  std::vector<uint32_t> free_;
+  uint64_t next_priority_seed_ = 0x12345;
+};
+
+using EttTreap = EulerTourTree<TreapSeq>;
+
+}  // namespace ufo::seq

@@ -1,0 +1,197 @@
+#include "seq/link_cut_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ufo::seq {
+
+LinkCutTree::LinkCutTree(size_t n) : n_(n) {
+  nodes_.resize(n + 1);  // id 0 is the null sentinel
+  for (auto& nd : nodes_) nd.max = kMinWeight;
+}
+
+bool LinkCutTree::is_splay_root(uint32_t x) const {
+  uint32_t p = nodes_[x].parent;
+  return p == 0 || (nodes_[p].child[0] != x && nodes_[p].child[1] != x);
+}
+
+void LinkCutTree::push_down(uint32_t x) {
+  Node& nd = nodes_[x];
+  if (nd.reversed) {
+    std::swap(nd.child[0], nd.child[1]);
+    if (nd.child[0]) nodes_[nd.child[0]].reversed ^= true;
+    if (nd.child[1]) nodes_[nd.child[1]].reversed ^= true;
+    nd.reversed = false;
+  }
+}
+
+void LinkCutTree::pull_up(uint32_t x) {
+  Node& nd = nodes_[x];
+  const Node& l = nodes_[nd.child[0]];
+  const Node& r = nodes_[nd.child[1]];
+  Weight own = nd.is_edge ? nd.value : 0;
+  nd.sum = own + (nd.child[0] ? l.sum : 0) + (nd.child[1] ? r.sum : 0);
+  nd.max = nd.is_edge ? nd.value : kMinWeight;
+  if (nd.child[0]) nd.max = std::max(nd.max, l.max);
+  if (nd.child[1]) nd.max = std::max(nd.max, r.max);
+  nd.edges = (nd.is_edge ? 1 : 0) + (nd.child[0] ? l.edges : 0) +
+             (nd.child[1] ? r.edges : 0);
+}
+
+void LinkCutTree::rotate(uint32_t x) {
+  uint32_t p = nodes_[x].parent;
+  uint32_t g = nodes_[p].parent;
+  int dir = nodes_[p].child[1] == x ? 1 : 0;
+  uint32_t mid = nodes_[x].child[1 - dir];
+  if (!is_splay_root(p)) nodes_[g].child[nodes_[g].child[1] == p ? 1 : 0] = x;
+  nodes_[x].parent = g;
+  nodes_[x].child[1 - dir] = p;
+  nodes_[p].parent = x;
+  nodes_[p].child[dir] = mid;
+  if (mid) nodes_[mid].parent = p;
+  pull_up(p);
+  pull_up(x);
+}
+
+void LinkCutTree::splay(uint32_t x) {
+  // Push reversal lazily down the access path before restructuring.
+  {
+    std::vector<uint32_t> stack;
+    uint32_t cur = x;
+    stack.push_back(cur);
+    while (!is_splay_root(cur)) {
+      cur = nodes_[cur].parent;
+      stack.push_back(cur);
+    }
+    for (size_t i = stack.size(); i-- > 0;) push_down(stack[i]);
+  }
+  while (!is_splay_root(x)) {
+    uint32_t p = nodes_[x].parent;
+    if (!is_splay_root(p)) {
+      uint32_t g = nodes_[p].parent;
+      bool zigzig = (nodes_[g].child[1] == p) == (nodes_[p].child[1] == x);
+      rotate(zigzig ? p : x);
+    }
+    rotate(x);
+  }
+}
+
+void LinkCutTree::access(uint32_t x) {
+  splay(x);
+  // Drop the old preferred child below x.
+  nodes_[x].child[1] = 0;
+  pull_up(x);
+  uint32_t cur = x;
+  while (nodes_[cur].parent != 0) {
+    uint32_t p = nodes_[cur].parent;
+    splay(p);
+    nodes_[p].child[1] = cur;
+    pull_up(p);
+    splay(cur);  // single rotation brings cur to the top
+  }
+}
+
+void LinkCutTree::make_root(uint32_t x) {
+  access(x);
+  nodes_[x].reversed ^= true;
+  push_down(x);
+}
+
+uint32_t LinkCutTree::find_root(uint32_t x) {
+  access(x);
+  while (true) {
+    push_down(x);
+    if (!nodes_[x].child[0]) break;
+    x = nodes_[x].child[0];
+  }
+  splay(x);
+  return x;
+}
+
+uint32_t LinkCutTree::alloc_edge_node(Weight w) {
+  uint32_t id;
+  if (!free_edge_nodes_.empty()) {
+    id = free_edge_nodes_.back();
+    free_edge_nodes_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& nd = nodes_[id];
+  nd.is_edge = true;
+  nd.value = w;
+  nd.sum = w;
+  nd.max = w;
+  nd.edges = 1;
+  return id;
+}
+
+void LinkCutTree::free_edge_node(uint32_t id) {
+  nodes_[id] = Node{};
+  free_edge_nodes_.push_back(id);
+}
+
+void LinkCutTree::link(Vertex u, Vertex v, Weight w) {
+  assert(!connected(u, v));
+  uint32_t e = alloc_edge_node(w);
+  edge_ids_[edge_key(u, v)] = e;
+  uint32_t un = vertex_node(u), vn = vertex_node(v);
+  // Hang u's tree under the edge node, then the edge node under v.
+  make_root(un);
+  nodes_[un].parent = e;
+  make_root(e);  // e is a single-node path; access is trivial
+  nodes_[e].parent = vn;
+}
+
+void LinkCutTree::cut(Vertex u, Vertex v) {
+  auto it = edge_ids_.find(edge_key(u, v));
+  assert(it != edge_ids_.end());
+  uint32_t e = it->second;
+  edge_ids_.erase(it);
+  uint32_t un = vertex_node(u), vn = vertex_node(v);
+  make_root(un);
+  access(vn);
+  splay(e);  // e is interior on the u..v preferred path
+  // Splitting at e detaches the two halves of the path.
+  uint32_t l = nodes_[e].child[0], r = nodes_[e].child[1];
+  if (l) nodes_[l].parent = 0;
+  if (r) nodes_[r].parent = 0;
+  free_edge_node(e);
+}
+
+bool LinkCutTree::has_edge(Vertex u, Vertex v) const {
+  return edge_ids_.count(edge_key(u, v)) > 0;
+}
+
+bool LinkCutTree::connected(Vertex u, Vertex v) {
+  if (u == v) return true;
+  return find_root(vertex_node(u)) == find_root(vertex_node(v));
+}
+
+Weight LinkCutTree::path_sum(Vertex u, Vertex v) {
+  make_root(vertex_node(u));
+  access(vertex_node(v));
+  return nodes_[vertex_node(v)].sum;
+}
+
+Weight LinkCutTree::path_max(Vertex u, Vertex v) {
+  make_root(vertex_node(u));
+  access(vertex_node(v));
+  return nodes_[vertex_node(v)].max;
+}
+
+size_t LinkCutTree::path_length(Vertex u, Vertex v) {
+  make_root(vertex_node(u));
+  access(vertex_node(v));
+  return nodes_[vertex_node(v)].edges;
+}
+
+size_t LinkCutTree::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         free_edge_nodes_.capacity() * sizeof(uint32_t) +
+         edge_ids_.size() * (sizeof(uint64_t) + sizeof(uint32_t) + 16) +
+         sizeof(*this);
+}
+
+}  // namespace ufo::seq

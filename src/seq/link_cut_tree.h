@@ -1,0 +1,78 @@
+// Link-cut trees (Sleator & Tarjan 1983), the amortized splay-tree variant.
+//
+// This is the paper's strongest sequential baseline: O(min{log n, D^2})
+// amortized per operation (Theorem B.1 gives the D^2 bound). It supports
+// connectivity and path queries only (Table 1).
+//
+// Implementation note: edges are represented as explicit splay nodes sitting
+// between their endpoint vertices on preferred paths ("edge-as-node"). This
+// makes edge-weighted path aggregates trivial under evert/reversal at the
+// cost of one extra node per edge; the paper's implementation instead stores
+// up/down weights per vertex node (App. D.1) — same asymptotics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/forest.h"
+
+namespace ufo::seq {
+
+class LinkCutTree {
+ public:
+  explicit LinkCutTree(size_t n);
+
+  size_t size() const { return n_; }
+
+  // Adds edge {u, v} with weight w. Endpoints must be in different trees.
+  void link(Vertex u, Vertex v, Weight w = 1);
+  // Removes existing edge {u, v}.
+  void cut(Vertex u, Vertex v);
+  bool has_edge(Vertex u, Vertex v) const;
+
+  bool connected(Vertex u, Vertex v);
+
+  // Aggregates over the edge weights on the u--v path (u, v connected).
+  Weight path_sum(Vertex u, Vertex v);
+  Weight path_max(Vertex u, Vertex v);
+  size_t path_length(Vertex u, Vertex v);  // number of edges
+
+  size_t memory_bytes() const;
+
+ private:
+  struct Node {
+    uint32_t parent = 0;   // splay parent or path-parent (0 = none; ids 1-based)
+    uint32_t child[2] = {0, 0};
+    bool reversed = false;
+    bool is_edge = false;
+    Weight value = 0;      // edge weight (vertices: 0)
+    Weight sum = 0;        // subtree sum of edge values
+    Weight max = 0;        // subtree max of edge values (kMinWeight if none)
+    uint32_t edges = 0;    // number of edge nodes in splay subtree
+  };
+
+  static constexpr Weight kMinWeight = INT64_MIN;
+
+  bool is_splay_root(uint32_t x) const;
+  void push_down(uint32_t x);
+  void pull_up(uint32_t x);
+  void rotate(uint32_t x);
+  void splay(uint32_t x);
+  void access(uint32_t x);
+  void make_root(uint32_t x);
+  uint32_t find_root(uint32_t x);
+
+  // Vertices occupy node ids 1..n; edge nodes come from a free list above n.
+  uint32_t vertex_node(Vertex v) const { return v + 1; }
+  uint32_t alloc_edge_node(Weight w);
+  void free_edge_node(uint32_t id);
+
+  size_t n_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_edge_nodes_;
+  std::unordered_map<uint64_t, uint32_t> edge_ids_;
+};
+
+}  // namespace ufo::seq

@@ -1,0 +1,146 @@
+#include "seq/rank_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ufo::seq {
+
+namespace {
+constexpr Weight kNegInf = INT64_MIN / 4;
+}
+
+int32_t RankTree::alloc() {
+  if (!free_.empty()) {
+    int32_t x = free_.back();
+    free_.pop_back();
+    nodes_[x] = Node{};
+    return x;
+  }
+  nodes_.emplace_back();
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void RankTree::free_node(int32_t x) {
+  nodes_[x] = Node{};
+  free_.push_back(x);
+}
+
+void RankTree::pull(int32_t x) {
+  Node& nd = nodes_[x];
+  const Node& l = nodes_[nd.left];
+  const Node& r = nodes_[nd.right];
+  nd.weight = l.weight + r.weight;
+  nd.max = std::max(l.max, r.max);
+  nd.sum = l.sum + r.sum;
+  nd.rank = std::max(l.rank, r.rank) + 1;
+}
+
+void RankTree::add_root(int32_t x) {
+  for (;;) {
+    int r = nodes_[x].rank;
+    if (roots_by_rank_.size() <= static_cast<size_t>(r))
+      roots_by_rank_.resize(r + 1, -1);
+    if (roots_by_rank_[r] < 0) {
+      roots_by_rank_[r] = x;
+      nodes_[x].parent = -1;
+      return;
+    }
+    // Combine the two rank-r roots into a rank-(r+1) root.
+    int32_t other = roots_by_rank_[r];
+    roots_by_rank_[r] = -1;
+    int32_t p = alloc();
+    nodes_[p].left = other;
+    nodes_[p].right = x;
+    nodes_[other].parent = p;
+    nodes_[x].parent = p;
+    pull(p);
+    x = p;
+  }
+}
+
+void RankTree::detach_root(int32_t x) {
+  int r = nodes_[x].rank;
+  assert(static_cast<size_t>(r) < roots_by_rank_.size() &&
+         roots_by_rank_[r] == x);
+  roots_by_rank_[r] = -1;
+}
+
+void RankTree::insert(uint64_t id, uint64_t weight, Weight value) {
+  assert(weight > 0 && !contains(id));
+  int32_t leaf = alloc();
+  Node& nd = nodes_[leaf];
+  nd.is_leaf = true;
+  nd.id = id;
+  nd.weight = weight;
+  nd.max = value;
+  nd.sum = value;
+  nd.rank = rank_of_weight(weight);
+  leaf_of_[id] = leaf;
+  add_root(leaf);
+}
+
+void RankTree::erase(uint64_t id) {
+  auto it = leaf_of_.find(id);
+  assert(it != leaf_of_.end());
+  int32_t leaf = it->second;
+  leaf_of_.erase(it);
+  // Find the root of leaf's tree and collect the siblings along the path.
+  std::vector<int32_t> orphans;
+  int32_t cur = leaf;
+  while (nodes_[cur].parent >= 0) {
+    int32_t p = nodes_[cur].parent;
+    int32_t sib =
+        nodes_[p].left == cur ? nodes_[p].right : nodes_[p].left;
+    orphans.push_back(sib);
+    cur = p;
+  }
+  detach_root(cur);
+  // Free the dismantled internal path (and the leaf).
+  int32_t walk = leaf;
+  while (walk >= 0) {
+    int32_t p = nodes_[walk].parent;
+    free_node(walk);
+    walk = p;
+  }
+  for (int32_t sib : orphans) add_root(sib);
+}
+
+Weight RankTree::max_value() const {
+  Weight best = kNegInf;
+  for (int32_t r : roots_by_rank_)
+    if (r >= 0) best = std::max(best, nodes_[r].max);
+  return best;
+}
+
+Weight RankTree::sum_value() const {
+  Weight total = 0;
+  for (int32_t r : roots_by_rank_)
+    if (r >= 0) total += nodes_[r].sum;
+  return total;
+}
+
+uint64_t RankTree::total_weight() const {
+  uint64_t total = 0;
+  for (int32_t r : roots_by_rank_)
+    if (r >= 0) total += nodes_[r].weight;
+  return total;
+}
+
+size_t RankTree::depth(uint64_t id) const {
+  int32_t cur = leaf_of_.at(id);
+  size_t d = 0;
+  while (nodes_[cur].parent >= 0) {
+    cur = nodes_[cur].parent;
+    ++d;
+  }
+  return d;
+}
+
+size_t RankTree::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         free_.capacity() * sizeof(int32_t) +
+         roots_by_rank_.capacity() * sizeof(int32_t) +
+         leaf_of_.size() * 32 + sizeof(*this);
+}
+
+}  // namespace ufo::seq

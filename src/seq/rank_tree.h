@@ -1,0 +1,79 @@
+// Rank trees (Wulff-Nilsen 2013), used by the paper (Section 4.2) to store
+// the child sets of high-fanout UFO clusters so that non-invertible
+// aggregates (e.g. subtree max) can be maintained in O(log(W/w)) per child
+// insertion/deletion, keeping overall UFO-tree operations at O(log n) via a
+// telescoping argument (Lemma C.5).
+//
+// Implementation: a binary-counter forest of perfect rank trees. An item of
+// weight w enters as a leaf of rank floor(log2 w); two roots of equal rank r
+// combine into a rank r+1 node, so a leaf of weight w sits at depth
+// O(log(W/w)) below the maximum rank. Deletion dismantles the root path and
+// re-inserts the orphaned subtrees by rank.
+//
+// The aggregate is a commutative, associative function over item values,
+// supplied as maintained max + sum (covering the paper's query set).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/forest.h"
+
+namespace ufo::seq {
+
+class RankTree {
+ public:
+  RankTree() = default;
+
+  // Inserts item `id` with positive weight and an aggregate value.
+  void insert(uint64_t id, uint64_t weight, Weight value);
+  // Removes a previously inserted item.
+  void erase(uint64_t id);
+  bool contains(uint64_t id) const { return leaf_of_.count(id) > 0; }
+  size_t size() const { return leaf_of_.size(); }
+
+  // Aggregates over all live items.
+  Weight max_value() const;
+  Weight sum_value() const;
+  uint64_t total_weight() const;
+
+  // Depth of the item's leaf (for the O(log(W/w)) bound tests).
+  size_t depth(uint64_t id) const;
+
+  size_t memory_bytes() const;
+
+ private:
+  struct Node {
+    int32_t parent = -1;
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t rank = 0;
+    uint64_t id = 0;       // leaves only
+    bool is_leaf = false;
+    uint64_t weight = 0;   // subtree weight
+    Weight max = 0;        // subtree max of values
+    Weight sum = 0;        // subtree sum of values
+  };
+
+  int32_t alloc();
+  void free_node(int32_t x);
+  void pull(int32_t x);
+  void add_root(int32_t x);     // insert into the counter, merging ranks
+  void detach_root(int32_t x);  // remove from the root registry
+
+  static int rank_of_weight(uint64_t w) {
+    int r = 0;
+    while (w >>= 1) ++r;
+    return r;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<int32_t> free_;
+  // roots_by_rank_[r] holds at most one root per rank (binary counter).
+  std::vector<int32_t> roots_by_rank_;
+  std::unordered_map<uint64_t, int32_t> leaf_of_;
+};
+
+}  // namespace ufo::seq

@@ -1,0 +1,42 @@
+// Rake-compress tree baseline.
+//
+// The paper's sequential RC tree is a deterministic, direct implementation
+// of rake-compress contraction over a ternarized input (Appendix D.1). We
+// reproduce its two defining cost characteristics — mandatory ternarization
+// of arbitrary-degree inputs and contraction-tree maintenance — by hosting
+// the ternarized forest in our contraction-tree core. Rake/compress rounds
+// and topology-tree matching rounds differ only in which maximal set of
+// merges each round picks; both give geometric contraction, O(log n)
+// updates and the same query surface. See DESIGN.md ("Substitutions") for
+// why this preserves the benchmarked behaviour (ternarization overhead on
+// high-degree inputs is the paper's headline finding for RC trees, and it
+// is fully exercised here).
+#pragma once
+
+#include "seq/ternarize.h"
+#include "seq/topology_tree.h"
+
+namespace ufo::seq {
+
+class RcTree {
+ public:
+  explicit RcTree(size_t n) : t_(n) {}
+
+  size_t size() const { return t_.size(); }
+
+  void link(Vertex u, Vertex v, Weight w = 1) { t_.link(u, v, w); }
+  void cut(Vertex u, Vertex v) { t_.cut(u, v); }
+  bool has_edge(Vertex u, Vertex v) const { return t_.has_edge(u, v); }
+  bool connected(Vertex u, Vertex v) { return t_.connected(u, v); }
+  Weight path_sum(Vertex u, Vertex v) { return t_.path_sum(u, v); }
+  Weight path_max(Vertex u, Vertex v) { return t_.path_max(u, v); }
+  Weight subtree_sum(Vertex v, Vertex p) { return t_.subtree_sum(v, p); }
+  void set_vertex_weight(Vertex v, Weight w) { t_.set_vertex_weight(v, w); }
+  size_t degree(Vertex v) const { return t_.degree(v); }
+  size_t memory_bytes() const { return t_.memory_bytes(); }
+
+ private:
+  Ternarizer<TopologyTree> t_;
+};
+
+}  // namespace ufo::seq

@@ -1,0 +1,255 @@
+#include "seq/splay_top_tree.h"
+
+#include <cassert>
+
+namespace ufo::seq {
+
+SplayTopTree::SplayTopTree(size_t n) : n_(n), nodes_(n + 1) {
+  nodes_[0].max = kMinWeight;  // sentinel: identity for all aggregates
+  for (Vertex v = 0; v < n; ++v) {
+    nodes_[vertex_node(v)].vweight = 1;  // library-wide default vertex weight
+    pull_up(vertex_node(v));
+  }
+}
+
+bool SplayTopTree::is_splay_root(uint32_t x) const {
+  uint32_t p = nodes_[x].parent;
+  return p == 0 || (nodes_[p].child[0] != x && nodes_[p].child[1] != x);
+}
+
+void SplayTopTree::push_down(uint32_t x) {
+  Node& nd = nodes_[x];
+  if (!nd.reversed) return;
+  uint32_t l = nd.child[0], r = nd.child[1];
+  nd.child[0] = r;
+  nd.child[1] = l;
+  if (l) nodes_[l].reversed = !nodes_[l].reversed;
+  if (r) nodes_[r].reversed = !nodes_[r].reversed;
+  nd.reversed = false;
+}
+
+void SplayTopTree::pull_up(uint32_t x) {
+  Node& nd = nodes_[x];
+  const Node& l = nodes_[nd.child[0]];
+  const Node& r = nodes_[nd.child[1]];
+  nd.sum = l.sum + r.sum + nd.value;
+  nd.max = l.max;
+  if (r.max > nd.max) nd.max = r.max;
+  if (nd.is_edge && nd.value > nd.max) nd.max = nd.value;
+  nd.edges = l.edges + r.edges + (nd.is_edge ? 1u : 0u);
+  nd.tot = l.tot + r.tot + nd.vweight + nd.vsub;
+  nd.totcnt = l.totcnt + r.totcnt + nd.vcnt + (nd.is_edge ? 0u : 1u);
+}
+
+void SplayTopTree::rotate(uint32_t x) {
+  uint32_t p = nodes_[x].parent;
+  uint32_t g = nodes_[p].parent;
+  int dir = nodes_[p].child[1] == x ? 1 : 0;
+  uint32_t b = nodes_[x].child[1 - dir];
+
+  nodes_[p].child[dir] = b;
+  if (b) nodes_[b].parent = p;
+  nodes_[x].child[1 - dir] = p;
+  nodes_[p].parent = x;
+  nodes_[x].parent = g;
+  if (g) {
+    if (nodes_[g].child[0] == p)
+      nodes_[g].child[0] = x;
+    else if (nodes_[g].child[1] == p)
+      nodes_[g].child[1] = x;
+    // else: p was a splay root; x inherits the path-parent pointer.
+  }
+  pull_up(p);
+  pull_up(x);
+}
+
+void SplayTopTree::splay(uint32_t x) {
+  // Push reversal lazily along the root-to-x spine before rotating.
+  {
+    static thread_local std::vector<uint32_t> spine;
+    spine.clear();
+    uint32_t y = x;
+    spine.push_back(y);
+    while (!is_splay_root(y)) {
+      y = nodes_[y].parent;
+      spine.push_back(y);
+    }
+    for (size_t i = spine.size(); i-- > 0;) push_down(spine[i]);
+  }
+  while (!is_splay_root(x)) {
+    uint32_t p = nodes_[x].parent;
+    if (!is_splay_root(p)) {
+      uint32_t g = nodes_[p].parent;
+      bool zigzig = (nodes_[g].child[0] == p) == (nodes_[p].child[0] == x);
+      rotate(zigzig ? p : x);
+    }
+    rotate(x);
+  }
+}
+
+void SplayTopTree::access(uint32_t x) {
+  splay(x);
+  // Detach the preferred child below x: it becomes a virtual subtree.
+  if (uint32_t r = nodes_[x].child[1]) {
+    nodes_[x].child[1] = 0;
+    nodes_[x].vsub += nodes_[r].tot;
+    nodes_[x].vcnt += nodes_[r].totcnt;
+    pull_up(x);
+  }
+  // Walk path-parents, switching preferred children (virtual -> real).
+  uint32_t cur = x;
+  while (nodes_[cur].parent != 0) {
+    uint32_t p = nodes_[cur].parent;
+    splay(p);
+    if (uint32_t r = nodes_[p].child[1]) {
+      nodes_[r].parent = p;  // stays as path-parent (virtual)
+      nodes_[p].vsub += nodes_[r].tot;
+      nodes_[p].vcnt += nodes_[r].totcnt;
+    }
+    nodes_[p].vsub -= nodes_[cur].tot;
+    nodes_[p].vcnt -= nodes_[cur].totcnt;
+    nodes_[p].child[1] = cur;
+    pull_up(p);
+    splay(x);
+  }
+}
+
+void SplayTopTree::make_root(uint32_t x) {
+  access(x);
+  nodes_[x].reversed = !nodes_[x].reversed;
+  push_down(x);
+}
+
+uint32_t SplayTopTree::find_root(uint32_t x) {
+  access(x);
+  while (true) {
+    push_down(x);
+    if (!nodes_[x].child[0]) break;
+    x = nodes_[x].child[0];
+  }
+  splay(x);
+  return x;
+}
+
+uint32_t SplayTopTree::alloc_edge_node(Weight w) {
+  uint32_t id;
+  if (!free_edge_nodes_.empty()) {
+    id = free_edge_nodes_.back();
+    free_edge_nodes_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& nd = nodes_[id];
+  nd.is_edge = true;
+  nd.value = w;
+  pull_up(id);
+  return id;
+}
+
+void SplayTopTree::free_edge_node(uint32_t id) {
+  free_edge_nodes_.push_back(id);
+}
+
+void SplayTopTree::link(Vertex u, Vertex v, Weight w) {
+  assert(u < n_ && v < n_ && u != v);
+  uint32_t un = vertex_node(u), vn = vertex_node(v);
+  assert(find_root(un) != find_root(vn) && "link endpoints must be separate");
+  uint32_t e = alloc_edge_node(w);
+  edge_ids_[edge_key(u, v)] = e;
+  // Attach u's tree under e, then e under v, as virtual subtrees.
+  make_root(un);
+  nodes_[un].parent = e;
+  nodes_[e].vsub += nodes_[un].tot;
+  nodes_[e].vcnt += nodes_[un].totcnt;
+  pull_up(e);
+  make_root(vn);  // vn becomes the splay root of its tree
+  nodes_[e].parent = vn;
+  nodes_[vn].vsub += nodes_[e].tot;
+  nodes_[vn].vcnt += nodes_[e].totcnt;
+  pull_up(vn);
+}
+
+void SplayTopTree::cut(Vertex u, Vertex v) {
+  auto it = edge_ids_.find(edge_key(u, v));
+  assert(it != edge_ids_.end() && "cut of a non-existent edge");
+  uint32_t e = it->second;
+  edge_ids_.erase(it);
+  uint32_t un = vertex_node(u), vn = vertex_node(v);
+  // Expose the whole path u - e - v as one splay tree, then split at e.
+  // An edge node's only represented-tree neighbours are its endpoints, so
+  // after the access e carries no virtual children and the splay-tree split
+  // needs no vsub adjustments.
+  make_root(un);
+  access(vn);
+  splay(e);
+  assert(nodes_[e].vcnt == 0 && "edge node cannot own virtual subtrees");
+  uint32_t l = nodes_[e].child[0], r = nodes_[e].child[1];
+  assert(l != 0 && r != 0);
+  nodes_[l].parent = 0;
+  nodes_[r].parent = 0;
+  free_edge_node(e);
+}
+
+bool SplayTopTree::has_edge(Vertex u, Vertex v) const {
+  return edge_ids_.count(edge_key(u, v)) > 0;
+}
+
+void SplayTopTree::set_vertex_weight(Vertex v, Weight w) {
+  uint32_t x = vertex_node(v);
+  access(x);
+  nodes_[x].vweight = w;
+  pull_up(x);
+}
+
+bool SplayTopTree::connected(Vertex u, Vertex v) {
+  if (u == v) return true;
+  return find_root(vertex_node(u)) == find_root(vertex_node(v));
+}
+
+Weight SplayTopTree::path_sum(Vertex u, Vertex v) {
+  make_root(vertex_node(u));
+  access(vertex_node(v));
+  return nodes_[vertex_node(v)].sum;
+}
+
+Weight SplayTopTree::path_max(Vertex u, Vertex v) {
+  make_root(vertex_node(u));
+  access(vertex_node(v));
+  return nodes_[vertex_node(v)].max;
+}
+
+size_t SplayTopTree::path_length(Vertex u, Vertex v) {
+  make_root(vertex_node(u));
+  access(vertex_node(v));
+  return nodes_[vertex_node(v)].edges;
+}
+
+Weight SplayTopTree::subtree_sum(Vertex v, Vertex p) {
+  assert(v != p);
+  make_root(vertex_node(p));
+  access(vertex_node(v));
+  // v is the tail of the preferred path from p: everything in v's subtree
+  // (w.r.t. root p) hangs off v virtually.
+  const Node& nd = nodes_[vertex_node(v)];
+  return nd.vweight + nd.vsub;
+}
+
+size_t SplayTopTree::subtree_size(Vertex v, Vertex p) {
+  assert(v != p);
+  make_root(vertex_node(p));
+  access(vertex_node(v));
+  const Node& nd = nodes_[vertex_node(v)];
+  return size_t{1} + nd.vcnt;
+}
+
+size_t SplayTopTree::memory_bytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += nodes_.capacity() * sizeof(Node);
+  bytes += free_edge_nodes_.capacity() * sizeof(uint32_t);
+  bytes += edge_ids_.size() * 48;  // rough per-entry map overhead
+  return bytes;
+}
+
+}  // namespace ufo::seq

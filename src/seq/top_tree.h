@@ -1,0 +1,40 @@
+// Top tree baseline.
+//
+// Top trees are classically implementable by driving them with a topology
+// tree (Alstrup et al.; Frederickson's structure underlies the original
+// formulation). This adapter exposes the top-tree operation surface
+// (link/cut/connectivity/path and subtree aggregates) over our topology
+// tree, ternarizing on demand so arbitrary-degree inputs are accepted.
+//
+// Note: the paper benchmarks the *splay* top trees of Holm, Rotenberg &
+// Ryhl (SOSA 2023), a self-adjusting variant. Our topology-driven top tree
+// is the worst-case-balanced classical variant; DESIGN.md records the
+// substitution.
+#pragma once
+
+#include "seq/ternarize.h"
+#include "seq/topology_tree.h"
+
+namespace ufo::seq {
+
+class TopTree {
+ public:
+  explicit TopTree(size_t n) : t_(n) {}
+
+  size_t size() const { return t_.size(); }
+
+  void link(Vertex u, Vertex v, Weight w = 1) { t_.link(u, v, w); }
+  void cut(Vertex u, Vertex v) { t_.cut(u, v); }
+  bool has_edge(Vertex u, Vertex v) const { return t_.has_edge(u, v); }
+  bool connected(Vertex u, Vertex v) { return t_.connected(u, v); }
+  Weight path_sum(Vertex u, Vertex v) { return t_.path_sum(u, v); }
+  Weight path_max(Vertex u, Vertex v) { return t_.path_max(u, v); }
+  Weight subtree_sum(Vertex v, Vertex p) { return t_.subtree_sum(v, p); }
+  void set_vertex_weight(Vertex v, Weight w) { t_.set_vertex_weight(v, w); }
+  size_t memory_bytes() const { return t_.memory_bytes(); }
+
+ private:
+  Ternarizer<TopologyTree> t_;
+};
+
+}  // namespace ufo::seq

@@ -1,0 +1,494 @@
+// Topology tree queries (Appendix C.1 of the paper): path aggregates via
+// representative-path climbs, subtree aggregates via boundary tracking, LCA
+// via distance arithmetic + path selection, and the non-local queries
+// (diameter / center / median / nearest marked vertex).
+#include <algorithm>
+#include <cassert>
+
+#include "seq/topology_tree.h"
+
+namespace ufo::seq {
+
+bool TopologyTree::connected(Vertex u, Vertex v) const {
+  if (u == v) return true;
+  return tree_root(u) == tree_root(v);
+}
+
+bool TopologyTree::is_ancestor(uint32_t anc, uint32_t leaf) const {
+  uint32_t c = leaf;
+  while (c != 0 && clusters_[c].level < clusters_[anc].level)
+    c = clusters_[c].parent;
+  return c == anc;
+}
+
+uint32_t TopologyTree::lca_cluster(uint32_t a, uint32_t b) const {
+  while (clusters_[a].level < clusters_[b].level) a = clusters_[a].parent;
+  while (clusters_[b].level < clusters_[a].level) b = clusters_[b].parent;
+  while (a != b) {
+    a = clusters_[a].parent;
+    b = clusters_[b].parent;
+    assert(a != 0 && b != 0 && "vertices not connected");
+  }
+  return a;
+}
+
+// Climbs from the leaf of `from` up to (excluding) cluster `stop`,
+// maintaining f over the path from `from` to each boundary vertex of the
+// current cluster. On return *child is the child of `stop` on from's side
+// and the RepPath is keyed by that child's boundary slots.
+TopologyTree::RepPath TopologyTree::climb_rep_path(Vertex from, uint32_t stop,
+                                                   uint32_t* child) const {
+  uint32_t c = leaf_id(from);
+  RepPath rp;  // leaf: boundary = from itself; identity values (slot 0)
+  while (clusters_[c].parent != stop) {
+    uint32_t p = clusters_[c].parent;
+    assert(p != 0 && "stop must be an ancestor");
+    const Cluster& pc = clusters_[p];
+    const Cluster& cc = clusters_[c];
+    RepPath np;
+    if (pc.children.size() == 1) {
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        assert(j >= 0);
+        np.sum[i] = rp.sum[j];
+        np.max[i] = rp.max[j];
+        np.len[i] = rp.len[j];
+      }
+    } else {
+      bool first = (pc.children[0] == c);
+      uint32_t sib = first ? pc.children[1] : pc.children[0];
+      Vertex xe = first ? pc.merge_u : pc.merge_v;  // inside c
+      Vertex se = first ? pc.merge_v : pc.merge_u;  // inside sibling
+      const Cluster& sc = clusters_[sib];
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(cc, q);
+        if (j >= 0) {
+          np.sum[i] = rp.sum[j];
+          np.max[i] = rp.max[j];
+          np.len[i] = rp.len[j];
+        } else {
+          // Path exits c via the merge edge and continues along the
+          // sibling's cluster path to q.
+          int jx = boundary_slot(cc, xe);
+          assert(jx >= 0 && boundary_slot(sc, q) >= 0);
+          np.sum[i] = rp.sum[jx] + pc.merge_w;
+          np.max[i] = std::max(rp.max[jx], pc.merge_w);
+          np.len[i] = rp.len[jx] + 1;
+          if (q != se) {
+            np.sum[i] += sc.path_sum;
+            np.max[i] = std::max(np.max[i], sc.path_max);
+            np.len[i] += sc.path_len;
+          }
+        }
+      }
+    }
+    rp = np;
+    c = p;
+  }
+  *child = c;
+  return rp;
+}
+
+namespace {
+struct PathAgg {
+  Weight sum = 0;
+  Weight max;
+  int64_t len = 0;
+};
+}  // namespace
+
+Weight TopologyTree::path_sum(Vertex u, Vertex v) const {
+  if (u == v) return 0;
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  uint32_t cu = 0, cv = 0;
+  RepPath ru = climb_rep_path(u, lca, &cu);
+  RepPath rv = climb_rep_path(v, lca, &cv);
+  const Cluster& L = clusters_[lca];
+  assert(L.children.size() == 2);
+  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(clusters_[cu], eu);
+  int sv = boundary_slot(clusters_[cv], ev);
+  assert(su >= 0 && sv >= 0);
+  return ru.sum[su] + L.merge_w + rv.sum[sv];
+}
+
+Weight TopologyTree::path_max(Vertex u, Vertex v) const {
+  assert(u != v);
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  uint32_t cu = 0, cv = 0;
+  RepPath ru = climb_rep_path(u, lca, &cu);
+  RepPath rv = climb_rep_path(v, lca, &cv);
+  const Cluster& L = clusters_[lca];
+  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(clusters_[cu], eu);
+  int sv = boundary_slot(clusters_[cv], ev);
+  return std::max({ru.max[su], L.merge_w, rv.max[sv]});
+}
+
+int64_t TopologyTree::path_length(Vertex u, Vertex v) const {
+  if (u == v) return 0;
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  uint32_t cu = 0, cv = 0;
+  RepPath ru = climb_rep_path(u, lca, &cu);
+  RepPath rv = climb_rep_path(v, lca, &cv);
+  const Cluster& L = clusters_[lca];
+  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(clusters_[cu], eu);
+  int sv = boundary_slot(clusters_[cv], ev);
+  return ru.len[su] + 1 + rv.len[sv];
+}
+
+// Subtree aggregate of v with parent p: climb from the child V of the LCA
+// cluster on v's side, tracking which boundary vertices of the current
+// cluster still lie inside subtree(v, p); siblings attaching at an inside
+// boundary contribute their whole contents.
+Weight TopologyTree::subtree_sum(Vertex v, Vertex p) const {
+  assert(has_edge(v, p));
+  uint32_t lca = lca_cluster(leaf_id(v), leaf_id(p));
+  uint32_t cv = 0, cp = 0;
+  // Identify the LCA children on each side (cheap climbs).
+  {
+    uint32_t c = leaf_id(v);
+    while (clusters_[c].parent != lca) c = clusters_[c].parent;
+    cv = c;
+    c = leaf_id(p);
+    while (clusters_[c].parent != lca) c = clusters_[c].parent;
+    cp = c;
+  }
+  (void)cp;
+  const Cluster& V = clusters_[cv];
+  Weight acc = V.sub_sum;
+  // in[i]: is boundary bv[i] of the current cluster inside subtree(v, p)?
+  bool in[2] = {false, false};
+  for (int i = 0; i < 2; ++i)
+    if (V.bv[i] != kNoVertex) in[i] = true;  // all of V is inside
+  uint32_t x = cv;
+  bool first_step = true;  // the LCA merge is across the (v,p) edge itself
+  while (clusters_[x].parent != 0) {
+    uint32_t pid = clusters_[x].parent;
+    const Cluster& pc = clusters_[pid];
+    const Cluster& xc = clusters_[x];
+    bool nin[2] = {false, false};
+    if (pc.children.size() == 1) {
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(xc, pc.bv[i]);
+        assert(j >= 0);
+        nin[i] = in[j];
+      }
+    } else {
+      bool xfirst = (pc.children[0] == x);
+      uint32_t sib = xfirst ? pc.children[1] : pc.children[0];
+      Vertex xe = xfirst ? pc.merge_u : pc.merge_v;
+      const Cluster& sc = clusters_[sib];
+      int jx = boundary_slot(xc, xe);
+      bool sib_inside = !first_step && jx >= 0 && in[jx];
+      if (sib_inside) acc += sc.sub_sum;
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(xc, q);
+        if (j >= 0)
+          nin[i] = in[j];
+        else
+          nin[i] = sib_inside;
+      }
+    }
+    in[0] = nin[0];
+    in[1] = nin[1];
+    x = pid;
+    first_step = false;
+  }
+  return acc;
+}
+
+size_t TopologyTree::subtree_size(Vertex v, Vertex p) const {
+  // Same walk as subtree_sum but counting vertices. (Kept separate for
+  // clarity; both are O(height).)
+  assert(has_edge(v, p));
+  uint32_t lca = lca_cluster(leaf_id(v), leaf_id(p));
+  uint32_t cv = leaf_id(v);
+  while (clusters_[cv].parent != lca) cv = clusters_[cv].parent;
+  const Cluster& V = clusters_[cv];
+  size_t acc = V.n_verts;
+  bool in[2] = {false, false};
+  for (int i = 0; i < 2; ++i)
+    if (V.bv[i] != kNoVertex) in[i] = true;
+  uint32_t x = cv;
+  bool first_step = true;
+  while (clusters_[x].parent != 0) {
+    uint32_t pid = clusters_[x].parent;
+    const Cluster& pc = clusters_[pid];
+    const Cluster& xc = clusters_[x];
+    bool nin[2] = {false, false};
+    if (pc.children.size() == 1) {
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(xc, pc.bv[i]);
+        nin[i] = j >= 0 && in[j];
+      }
+    } else {
+      bool xfirst = (pc.children[0] == x);
+      uint32_t sib = xfirst ? pc.children[1] : pc.children[0];
+      Vertex xe = xfirst ? pc.merge_u : pc.merge_v;
+      const Cluster& sc = clusters_[sib];
+      int jx = boundary_slot(xc, xe);
+      bool sib_inside = !first_step && jx >= 0 && in[jx];
+      if (sib_inside) acc += sc.n_verts;
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(xc, q);
+        nin[i] = j >= 0 ? in[j] : sib_inside;
+      }
+    }
+    in[0] = nin[0];
+    in[1] = nin[1];
+    x = pid;
+    first_step = false;
+  }
+  return acc;
+}
+
+namespace {
+// Recursion state for path selection: vertex at hop k on the path.
+}  // namespace
+
+// Returns the vertex at hop distance k from `from` on the path from `from`
+// to `to` (0 <= k <= path_length). O(log^2 n): one O(log) distance query per
+// descent level.
+static Vertex path_select(const TopologyTree& t, Vertex from, Vertex to,
+                          int64_t k);
+
+Vertex TopologyTree::lca(Vertex u, Vertex v, Vertex r) const {
+  // The LCA of u and v w.r.t. root r is the meeting vertex of the three
+  // pairwise paths; it sits at hop (d(u,v) + d(u,r) - d(v,r)) / 2 from u on
+  // the u--v path.
+  if (u == v) return u;
+  if (u == r || v == r) return r;
+  int64_t duv = path_length(u, v);
+  int64_t dur = path_length(u, r);
+  int64_t dvr = path_length(v, r);
+  int64_t k = (duv + dur - dvr) / 2;
+  return path_select(*this, u, v, k);
+}
+
+static Vertex path_select(const TopologyTree& t, Vertex from, Vertex to,
+                          int64_t k) {
+  // Walk down one edge of the u--v path at a time is O(D); instead descend
+  // greedily: at each step, test whether the target is before or after the
+  // next "milestone" vertex (a merge endpoint) using distance queries.
+  // Simpler robust implementation: binary descent via neighbor stepping is
+  // unavailable, so we use the distance characterization directly: the
+  // target m is the unique vertex with d(from,m) == k && d(m,to) == D - k
+  // on the path; we find it by walking from `from` along merge endpoints.
+  Vertex cur = from;
+  int64_t remaining = k;
+  while (remaining > 0) {
+    // The merge edge (a,b) of the LCA cluster of (cur, to) lies on the
+    // cur--to path; each round the subpath lies strictly inside a child
+    // cluster, so there are O(log n) rounds.
+    Vertex a = kNoVertex, b = kNoVertex;
+    t.path_milestone(cur, to, &a, &b);
+    int64_t da = (a == cur) ? 0 : t.path_length(cur, a);
+    if (remaining < da) {
+      to = a;  // target strictly inside [cur, a)
+      continue;
+    }
+    if (remaining == da) return a;
+    if (remaining == da + 1) return b;
+    cur = b;
+    remaining -= da + 1;
+  }
+  return cur;
+}
+
+// Exposes the merge edge (a,b) of the LCA cluster of u and v: a on u's
+// side, b on v's side. Both lie on the u--v path.
+void TopologyTree::path_milestone(Vertex u, Vertex v, Vertex* a,
+                                  Vertex* b) const {
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  const Cluster& L = clusters_[lca];
+  assert(L.children.size() == 2);
+  uint32_t cu = leaf_id(u);
+  while (clusters_[cu].parent != lca) cu = clusters_[cu].parent;
+  if (L.children[0] == cu) {
+    *a = L.merge_u;
+    *b = L.merge_v;
+  } else {
+    *a = L.merge_v;
+    *b = L.merge_u;
+  }
+}
+
+int64_t TopologyTree::component_diameter(Vertex v) const {
+  return clusters_[tree_root(v)].diam;
+}
+
+int64_t TopologyTree::nearest_marked_distance(Vertex v) const {
+  int64_t best = marked_[v] ? 0 : kInf;
+  uint32_t c = leaf_id(v);
+  int64_t len[2] = {0, 0};  // hop distance from v to current boundary slots
+  while (clusters_[c].parent != 0) {
+    uint32_t pid = clusters_[c].parent;
+    const Cluster& pc = clusters_[pid];
+    const Cluster& cc = clusters_[c];
+    int64_t nlen[2] = {0, 0};
+    if (pc.children.size() == 2) {
+      bool first = (pc.children[0] == c);
+      uint32_t sib = first ? pc.children[1] : pc.children[0];
+      Vertex xe = first ? pc.merge_u : pc.merge_v;
+      Vertex se = first ? pc.merge_v : pc.merge_u;
+      const Cluster& sc = clusters_[sib];
+      int jx = boundary_slot(cc, xe);
+      int js = boundary_slot(sc, se);
+      assert(jx >= 0 && js >= 0);
+      if (sc.marked_dist[js] < kInf)
+        best = std::min(best, len[jx] + 1 + sc.marked_dist[js]);
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(cc, q);
+        if (j >= 0) {
+          nlen[i] = len[j];
+        } else {
+          nlen[i] = len[jx] + 1 + (q == se ? 0 : sc.path_len);
+        }
+      }
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        assert(j >= 0);
+        nlen[i] = len[j];
+      }
+    }
+    len[0] = nlen[0];
+    len[1] = nlen[1];
+    c = pid;
+  }
+  return best >= kInf ? -1 : best;
+}
+
+Vertex TopologyTree::component_center(Vertex v) const {
+  uint32_t c = tree_root(v);
+  // ext[i]: max distance from boundary bv[i] of the current cluster to any
+  // vertex outside the cluster (kNegInf if boundary unused).
+  int64_t ext[2] = {INT64_MIN / 4, INT64_MIN / 4};
+  while (!clusters_[c].children.empty()) {
+    const Cluster& pc = clusters_[c];
+    if (pc.children.size() == 1) {
+      uint32_t ch = pc.children[0];
+      const Cluster& cc = clusters_[ch];
+      int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        if (j >= 0) next[j] = std::max(next[j], ext[i]);
+      }
+      ext[0] = next[0];
+      ext[1] = next[1];
+      c = ch;
+      continue;
+    }
+    uint32_t A = pc.children[0], B = pc.children[1];
+    const Cluster& ac = clusters_[A];
+    const Cluster& bc = clusters_[B];
+    int sa = boundary_slot(ac, pc.merge_u);
+    int sb = boundary_slot(bc, pc.merge_v);
+    auto side_far = [&](const Cluster& side, int sm, Vertex me) -> int64_t {
+      // Farthest vertex from the merge endpoint among: side's content and
+      // anything outside pc hanging via pc-boundaries located in this side.
+      int64_t far = side.max_dist[sm];
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex || ext[i] <= INT64_MIN / 8) continue;
+        int j = boundary_slot(side, q);
+        if (j < 0) continue;
+        int64_t d = (q == me) ? 0 : side.path_len;
+        far = std::max(far, d + ext[i]);
+      }
+      return far;
+    };
+    int64_t fa = side_far(ac, sa, pc.merge_u);
+    int64_t fb = side_far(bc, sb, pc.merge_v);
+    // Descend toward the deeper side; compute the child's ext values.
+    const Cluster& go = fa >= fb ? ac : bc;
+    uint32_t goid = fa >= fb ? A : B;
+    Vertex ge = fa >= fb ? pc.merge_u : pc.merge_v;
+    int64_t other_far = fa >= fb ? fb : fa;
+    int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
+    for (int i = 0; i < 2; ++i) {
+      if (go.bv[i] == kNoVertex) continue;
+      if (go.bv[i] == ge) next[i] = std::max(next[i], other_far + 1);
+      for (int k = 0; k < 2; ++k) {
+        if (pc.bv[k] == go.bv[i] && ext[k] > INT64_MIN / 8)
+          next[i] = std::max(next[i], ext[k]);
+      }
+    }
+    ext[0] = next[0];
+    ext[1] = next[1];
+    c = goid;
+  }
+  return clusters_[c].leaf_vertex;
+}
+
+Vertex TopologyTree::component_median(Vertex v) const {
+  uint32_t c = tree_root(v);
+  int64_t extw[2] = {0, 0};  // total vertex weight outside via boundary i
+  while (!clusters_[c].children.empty()) {
+    const Cluster& pc = clusters_[c];
+    if (pc.children.size() == 1) {
+      uint32_t ch = pc.children[0];
+      const Cluster& cc = clusters_[ch];
+      int64_t next[2] = {0, 0};
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        if (j >= 0) next[j] += extw[i];
+      }
+      extw[0] = next[0];
+      extw[1] = next[1];
+      c = ch;
+      continue;
+    }
+    uint32_t A = pc.children[0], B = pc.children[1];
+    const Cluster& ac = clusters_[A];
+    const Cluster& bc = clusters_[B];
+    auto side_weight = [&](const Cluster& side) -> int64_t {
+      int64_t w = side.sub_sum;
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        if (boundary_slot(side, q) >= 0) w += extw[i];
+      }
+      return w;
+    };
+    int64_t wa = side_weight(ac);
+    int64_t wb = side_weight(bc);
+    const Cluster& go = wa >= wb ? ac : bc;
+    uint32_t goid = wa >= wb ? A : B;
+    Vertex ge = wa >= wb ? pc.merge_u : pc.merge_v;
+    int64_t other_w = wa >= wb ? wb : wa;
+    int64_t next[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+      if (go.bv[i] == kNoVertex) continue;
+      if (go.bv[i] == ge) next[i] += other_w;
+      for (int k = 0; k < 2; ++k) {
+        if (pc.bv[k] == go.bv[i]) next[i] += extw[k];
+      }
+    }
+    extw[0] = next[0];
+    extw[1] = next[1];
+    c = goid;
+  }
+  return clusters_[c].leaf_vertex;
+}
+
+}  // namespace ufo::seq

@@ -1,0 +1,672 @@
+// UFO tree queries (Appendix C.2): the topology-tree traversals extended
+// with the superunary cases — clusters formed by high-degree merges have a
+// single boundary vertex (the center), rakes attach at it, and cluster
+// paths through superunary clusters are empty.
+#include <algorithm>
+#include <cassert>
+
+#include "seq/ufo_tree.h"
+
+namespace ufo::seq {
+
+bool UfoTree::connected(Vertex u, Vertex v) const {
+  if (u == v) return true;
+  return tree_root(u) == tree_root(v);
+}
+
+bool UfoTree::is_ancestor(uint32_t anc, uint32_t leaf) const {
+  uint32_t c = leaf;
+  while (c != 0 && clusters_[c].level < clusters_[anc].level)
+    c = clusters_[c].parent;
+  return c == anc;
+}
+
+uint32_t UfoTree::lca_cluster(uint32_t a, uint32_t b) const {
+  while (clusters_[a].level < clusters_[b].level) a = clusters_[a].parent;
+  while (clusters_[b].level < clusters_[a].level) b = clusters_[b].parent;
+  while (a != b) {
+    a = clusters_[a].parent;
+    b = clusters_[b].parent;
+    assert(a != 0 && b != 0 && "vertices not connected");
+  }
+  return a;
+}
+
+UfoTree::RepPath UfoTree::climb_rep_path(Vertex from, uint32_t stop,
+                                         uint32_t* child) const {
+  uint32_t c = leaf_id(from);
+  RepPath rp;
+  while (clusters_[c].parent != stop) {
+    uint32_t p = clusters_[c].parent;
+    assert(p != 0 && "stop must be an ancestor");
+    const Cluster& pc = clusters_[p];
+    const Cluster& cc = clusters_[c];
+    RepPath np;
+    if (pc.center_child != 0 && c != pc.center_child) {
+      // Climbing out of a rake: exit via its single edge, which attaches at
+      // the parent's (single) boundary vertex.
+      const Adj& e = cc.nbrs[0];
+      int j = boundary_slot(cc, e.my_end);
+      assert(j >= 0);
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        assert(pc.bv[i] == e.other_end);
+        np.sum[i] = rp.sum[j] + e.w;
+        np.max[i] = std::max(rp.max[j], e.w);
+        np.len[i] = rp.len[j] + 1;
+      }
+    } else if (pc.children.size() == 1 || pc.center_child == c) {
+      // Fanout-1 extension, or climbing through the center: the parent's
+      // boundary vertices all lie inside c.
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        assert(j >= 0);
+        np.sum[i] = rp.sum[j];
+        np.max[i] = rp.max[j];
+        np.len[i] = rp.len[j];
+      }
+    } else {
+      // Pair merge.
+      bool first = (pc.children[0] == c);
+      uint32_t sib = first ? pc.children[1] : pc.children[0];
+      Vertex xe = first ? pc.merge_u : pc.merge_v;
+      Vertex se = first ? pc.merge_v : pc.merge_u;
+      const Cluster& sc = clusters_[sib];
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(cc, q);
+        if (j >= 0) {
+          np.sum[i] = rp.sum[j];
+          np.max[i] = rp.max[j];
+          np.len[i] = rp.len[j];
+        } else {
+          int jx = boundary_slot(cc, xe);
+          assert(jx >= 0 && boundary_slot(sc, q) >= 0);
+          np.sum[i] = rp.sum[jx] + pc.merge_w;
+          np.max[i] = std::max(rp.max[jx], pc.merge_w);
+          np.len[i] = rp.len[jx] + 1;
+          if (q != se) {
+            np.sum[i] += sc.path_sum;
+            np.max[i] = std::max(np.max[i], sc.path_max);
+            np.len[i] += sc.path_len;
+          }
+        }
+      }
+    }
+    rp = np;
+    c = p;
+  }
+  *child = c;
+  return rp;
+}
+
+// Value of f from the climbed endpoint (inside `child`) to the center
+// vertex of the superunary LCA cluster.
+void UfoTree::side_to_center(uint32_t lca, uint32_t child, const RepPath& rp,
+                             Weight* sum, Weight* mx, int64_t* len) const {
+  const Cluster& L = clusters_[lca];
+  const Cluster& cc = clusters_[child];
+  if (child == L.center_child) {
+    Vertex b = cc.bv[0];
+    int j = boundary_slot(cc, b);
+    assert(j >= 0);
+    *sum = rp.sum[j];
+    *mx = rp.max[j];
+    *len = rp.len[j];
+  } else {
+    const Adj& e = cc.nbrs[0];
+    int j = boundary_slot(cc, e.my_end);
+    assert(j >= 0);
+    *sum = rp.sum[j] + e.w;
+    *mx = std::max(rp.max[j], e.w);
+    *len = rp.len[j] + 1;
+  }
+}
+
+Weight UfoTree::path_sum(Vertex u, Vertex v) const {
+  if (u == v) return 0;
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  uint32_t cu = 0, cv = 0;
+  RepPath ru = climb_rep_path(u, lca, &cu);
+  RepPath rv = climb_rep_path(v, lca, &cv);
+  const Cluster& L = clusters_[lca];
+  if (L.center_child != 0) {
+    Weight su, mu, sv, mv;
+    int64_t lu, lv;
+    side_to_center(lca, cu, ru, &su, &mu, &lu);
+    side_to_center(lca, cv, rv, &sv, &mv, &lv);
+    return su + sv;
+  }
+  assert(L.children.size() == 2);
+  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(clusters_[cu], eu);
+  int sv = boundary_slot(clusters_[cv], ev);
+  assert(su >= 0 && sv >= 0);
+  return ru.sum[su] + L.merge_w + rv.sum[sv];
+}
+
+Weight UfoTree::path_max(Vertex u, Vertex v) const {
+  assert(u != v);
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  uint32_t cu = 0, cv = 0;
+  RepPath ru = climb_rep_path(u, lca, &cu);
+  RepPath rv = climb_rep_path(v, lca, &cv);
+  const Cluster& L = clusters_[lca];
+  if (L.center_child != 0) {
+    Weight su, mu, sv, mv;
+    int64_t lu, lv;
+    side_to_center(lca, cu, ru, &su, &mu, &lu);
+    side_to_center(lca, cv, rv, &sv, &mv, &lv);
+    return std::max(mu, mv);
+  }
+  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(clusters_[cu], eu);
+  int sv = boundary_slot(clusters_[cv], ev);
+  return std::max({ru.max[su], L.merge_w, rv.max[sv]});
+}
+
+int64_t UfoTree::path_length(Vertex u, Vertex v) const {
+  if (u == v) return 0;
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  uint32_t cu = 0, cv = 0;
+  RepPath ru = climb_rep_path(u, lca, &cu);
+  RepPath rv = climb_rep_path(v, lca, &cv);
+  const Cluster& L = clusters_[lca];
+  if (L.center_child != 0) {
+    Weight su, mu, sv, mv;
+    int64_t lu, lv;
+    side_to_center(lca, cu, ru, &su, &mu, &lu);
+    side_to_center(lca, cv, rv, &sv, &mv, &lv);
+    return lu + lv;
+  }
+  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(clusters_[cu], eu);
+  int sv = boundary_slot(clusters_[cv], ev);
+  return ru.len[su] + 1 + rv.len[sv];
+}
+
+Weight UfoTree::subtree_sum(Vertex v, Vertex p) const {
+  assert(has_edge(v, p));
+  uint32_t lca = lca_cluster(leaf_id(v), leaf_id(p));
+  uint32_t cv = leaf_id(v), cp = leaf_id(p);
+  while (clusters_[cv].parent != lca) cv = clusters_[cv].parent;
+  while (clusters_[cp].parent != lca) cp = clusters_[cp].parent;
+  const Cluster& V = clusters_[cv];
+  Weight acc = V.sub_sum;
+  bool in[2] = {false, false};
+  for (int i = 0; i < 2; ++i)
+    if (V.bv[i] != kNoVertex) in[i] = true;
+  uint32_t x = cv;
+  bool first = true;
+  while (clusters_[x].parent != 0) {
+    uint32_t pid = clusters_[x].parent;
+    const Cluster& pc = clusters_[pid];
+    const Cluster& xc = clusters_[x];
+    bool nin[2] = {false, false};
+    if (pc.center_child != 0) {
+      if (x == pc.center_child) {
+        Vertex b = xc.bv[0];
+        int jb = boundary_slot(xc, b);
+        assert(jb >= 0);
+        bool b_in = in[jb];
+        for (uint32_t s : pc.children) {
+          if (s == x) continue;
+          if (first && s == cp) continue;  // the (v,p) edge crosses here
+          if (b_in) acc += clusters_[s].sub_sum;
+        }
+        for (int i = 0; i < 2; ++i)
+          if (pc.bv[i] != kNoVertex) nin[i] = b_in;
+      } else {
+        // x is a rake; crossing its edge reaches the rest of the tree.
+        const Adj& e = xc.nbrs[0];
+        int j = boundary_slot(xc, e.my_end);
+        assert(j >= 0);
+        bool crossing = in[j] && !first;
+        if (crossing) {
+          for (uint32_t s : pc.children)
+            if (s != x) acc += clusters_[s].sub_sum;
+        }
+        for (int i = 0; i < 2; ++i)
+          if (pc.bv[i] != kNoVertex) nin[i] = crossing;
+      }
+    } else if (pc.children.size() == 1) {
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(xc, pc.bv[i]);
+        assert(j >= 0);
+        nin[i] = in[j];
+      }
+    } else {
+      bool xfirst = (pc.children[0] == x);
+      uint32_t sib = xfirst ? pc.children[1] : pc.children[0];
+      Vertex xe = xfirst ? pc.merge_u : pc.merge_v;
+      const Cluster& sc = clusters_[sib];
+      int jx = boundary_slot(xc, xe);
+      bool sib_inside = jx >= 0 && in[jx] && !(first && sib == cp);
+      if (sib_inside) acc += sc.sub_sum;
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(xc, q);
+        nin[i] = j >= 0 ? in[j] : sib_inside;
+      }
+    }
+    in[0] = nin[0];
+    in[1] = nin[1];
+    x = pid;
+    first = false;
+  }
+  return acc;
+}
+
+size_t UfoTree::subtree_size(Vertex v, Vertex p) const {
+  assert(has_edge(v, p));
+  uint32_t lca = lca_cluster(leaf_id(v), leaf_id(p));
+  uint32_t cv = leaf_id(v), cp = leaf_id(p);
+  while (clusters_[cv].parent != lca) cv = clusters_[cv].parent;
+  while (clusters_[cp].parent != lca) cp = clusters_[cp].parent;
+  const Cluster& V = clusters_[cv];
+  size_t acc = V.n_verts;
+  bool in[2] = {false, false};
+  for (int i = 0; i < 2; ++i)
+    if (V.bv[i] != kNoVertex) in[i] = true;
+  uint32_t x = cv;
+  bool first = true;
+  while (clusters_[x].parent != 0) {
+    uint32_t pid = clusters_[x].parent;
+    const Cluster& pc = clusters_[pid];
+    const Cluster& xc = clusters_[x];
+    bool nin[2] = {false, false};
+    if (pc.center_child != 0) {
+      if (x == pc.center_child) {
+        Vertex b = xc.bv[0];
+        int jb = boundary_slot(xc, b);
+        bool b_in = jb >= 0 && in[jb];
+        for (uint32_t s : pc.children) {
+          if (s == x) continue;
+          if (first && s == cp) continue;
+          if (b_in) acc += clusters_[s].n_verts;
+        }
+        for (int i = 0; i < 2; ++i)
+          if (pc.bv[i] != kNoVertex) nin[i] = b_in;
+      } else {
+        const Adj& e = xc.nbrs[0];
+        int j = boundary_slot(xc, e.my_end);
+        bool crossing = j >= 0 && in[j] && !first;
+        if (crossing) {
+          for (uint32_t s : pc.children)
+            if (s != x) acc += clusters_[s].n_verts;
+        }
+        for (int i = 0; i < 2; ++i)
+          if (pc.bv[i] != kNoVertex) nin[i] = crossing;
+      }
+    } else if (pc.children.size() == 1) {
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(xc, pc.bv[i]);
+        nin[i] = j >= 0 && in[j];
+      }
+    } else {
+      bool xfirst = (pc.children[0] == x);
+      uint32_t sib = xfirst ? pc.children[1] : pc.children[0];
+      Vertex xe = xfirst ? pc.merge_u : pc.merge_v;
+      const Cluster& sc = clusters_[sib];
+      int jx = boundary_slot(xc, xe);
+      bool sib_inside = jx >= 0 && in[jx] && !(first && sib == cp);
+      if (sib_inside) acc += sc.n_verts;
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(xc, q);
+        nin[i] = j >= 0 ? in[j] : sib_inside;
+      }
+    }
+    in[0] = nin[0];
+    in[1] = nin[1];
+    x = pid;
+    first = false;
+  }
+  return acc;
+}
+
+void UfoTree::path_milestone(Vertex u, Vertex v, Vertex* a, Vertex* b) const {
+  uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
+  const Cluster& L = clusters_[lca];
+  uint32_t cu = leaf_id(u);
+  while (clusters_[cu].parent != lca) cu = clusters_[cu].parent;
+  if (L.center_child != 0) {
+    Vertex center = clusters_[L.center_child].bv[0];
+    if (cu == L.center_child) {
+      // u-side reaches the center vertex first, then exits into v's rake.
+      uint32_t cv = leaf_id(v);
+      while (clusters_[cv].parent != lca) cv = clusters_[cv].parent;
+      *a = center;
+      *b = clusters_[cv].nbrs[0].my_end;
+    } else {
+      *a = clusters_[cu].nbrs[0].my_end;
+      *b = center;
+    }
+    return;
+  }
+  assert(L.children.size() == 2);
+  if (L.children[0] == cu) {
+    *a = L.merge_u;
+    *b = L.merge_v;
+  } else {
+    *a = L.merge_v;
+    *b = L.merge_u;
+  }
+}
+
+static Vertex ufo_path_select(const UfoTree& t, Vertex from, Vertex to,
+                              int64_t k) {
+  Vertex cur = from;
+  int64_t remaining = k;
+  while (remaining > 0) {
+    Vertex a = kNoVertex, b = kNoVertex;
+    t.path_milestone(cur, to, &a, &b);
+    int64_t da = (a == cur) ? 0 : t.path_length(cur, a);
+    if (remaining < da) {
+      to = a;
+      continue;
+    }
+    if (remaining == da) return a;
+    if (remaining == da + 1) return b;
+    cur = b;
+    remaining -= da + 1;
+  }
+  return cur;
+}
+
+Vertex UfoTree::lca(Vertex u, Vertex v, Vertex r) const {
+  if (u == v) return u;
+  if (u == r || v == r) return r;
+  int64_t duv = path_length(u, v);
+  int64_t dur = path_length(u, r);
+  int64_t dvr = path_length(v, r);
+  int64_t k = (duv + dur - dvr) / 2;
+  return ufo_path_select(*this, u, v, k);
+}
+
+int64_t UfoTree::component_diameter(Vertex v) const {
+  return clusters_[tree_root(v)].diam;
+}
+
+int64_t UfoTree::nearest_marked_distance(Vertex v) const {
+  int64_t best = marked_[v] ? 0 : kInf;
+  uint32_t c = leaf_id(v);
+  int64_t len[2] = {0, 0};
+  while (clusters_[c].parent != 0) {
+    uint32_t pid = clusters_[c].parent;
+    const Cluster& pc = clusters_[pid];
+    const Cluster& cc = clusters_[c];
+    int64_t nlen[2] = {0, 0};
+    if (pc.center_child != 0) {
+      if (c == pc.center_child) {
+        Vertex b = cc.bv[0];
+        int jb = boundary_slot(cc, b);
+        assert(jb >= 0);
+        for (uint32_t s : pc.children) {
+          if (s == c) continue;
+          const Cluster& sc = clusters_[s];
+          int js = boundary_slot(sc, sc.nbrs[0].my_end);
+          if (js >= 0 && sc.marked_dist[js] < kInf)
+            best = std::min(best, len[jb] + 1 + sc.marked_dist[js]);
+        }
+        for (int i = 0; i < 2; ++i)
+          if (pc.bv[i] != kNoVertex) nlen[i] = len[jb];
+      } else {
+        const Adj& e = cc.nbrs[0];
+        int j = boundary_slot(cc, e.my_end);
+        assert(j >= 0);
+        int64_t at_b = len[j] + 1;  // distance from v to the center vertex
+        const Cluster& xc = clusters_[pc.center_child];
+        int jb = boundary_slot(xc, xc.bv[0]);
+        if (jb >= 0 && xc.marked_dist[jb] < kInf)
+          best = std::min(best, at_b + xc.marked_dist[jb]);
+        for (uint32_t s : pc.children) {
+          if (s == c || s == pc.center_child) continue;
+          const Cluster& sc = clusters_[s];
+          int js = boundary_slot(sc, sc.nbrs[0].my_end);
+          if (js >= 0 && sc.marked_dist[js] < kInf)
+            best = std::min(best, at_b + 1 + sc.marked_dist[js]);
+        }
+        for (int i = 0; i < 2; ++i)
+          if (pc.bv[i] != kNoVertex) nlen[i] = at_b;
+      }
+    } else if (pc.children.size() == 2) {
+      bool first = (pc.children[0] == c);
+      uint32_t sib = first ? pc.children[1] : pc.children[0];
+      Vertex xe = first ? pc.merge_u : pc.merge_v;
+      Vertex se = first ? pc.merge_v : pc.merge_u;
+      const Cluster& sc = clusters_[sib];
+      int jx = boundary_slot(cc, xe);
+      int js = boundary_slot(sc, se);
+      assert(jx >= 0 && js >= 0);
+      if (sc.marked_dist[js] < kInf)
+        best = std::min(best, len[jx] + 1 + sc.marked_dist[js]);
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        int j = boundary_slot(cc, q);
+        if (j >= 0)
+          nlen[i] = len[j];
+        else
+          nlen[i] = len[jx] + 1 + (q == se ? 0 : sc.path_len);
+      }
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        assert(j >= 0);
+        nlen[i] = len[j];
+      }
+    }
+    len[0] = nlen[0];
+    len[1] = nlen[1];
+    c = pid;
+  }
+  return best >= kInf ? -1 : best;
+}
+
+Vertex UfoTree::component_center(Vertex v) const {
+  uint32_t c = tree_root(v);
+  int64_t ext[2] = {INT64_MIN / 4, INT64_MIN / 4};
+  while (!clusters_[c].children.empty()) {
+    const Cluster& pc = clusters_[c];
+    if (pc.center_child != 0) {
+      const Cluster& xc = clusters_[pc.center_child];
+      Vertex b = xc.bv[0];
+      int sxb = boundary_slot(xc, b);
+      assert(sxb >= 0);
+      int64_t extb = INT64_MIN / 4;
+      for (int i = 0; i < 2; ++i)
+        if (pc.bv[i] == b) extb = std::max(extb, ext[i]);
+      // Branch depths from b.
+      int64_t far_x = xc.max_dist[sxb];
+      uint32_t best_rake = 0;
+      int64_t best_far = INT64_MIN / 4, second_far = INT64_MIN / 4;
+      for (uint32_t s : pc.children) {
+        if (s == pc.center_child) continue;
+        const Cluster& sc = clusters_[s];
+        int js = boundary_slot(sc, sc.nbrs[0].my_end);
+        int64_t far = 1 + sc.max_dist[js];
+        if (far > best_far) {
+          second_far = best_far;
+          best_far = far;
+          best_rake = s;
+        } else if (far > second_far) {
+          second_far = far;
+        }
+      }
+      int64_t others_vs_rake =
+          std::max({far_x, extb, second_far});  // deepest non-best branch
+      if (best_rake != 0 && best_far > others_vs_rake &&
+          best_far > std::max(far_x, extb)) {
+        // Center strictly inside the deepest rake.
+        const Cluster& sc = clusters_[best_rake];
+        int js = boundary_slot(sc, sc.nbrs[0].my_end);
+        int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
+        if (js >= 0)
+          next[js] = 1 + std::max({far_x, extb, second_far});
+        ext[0] = next[0];
+        ext[1] = next[1];
+        c = best_rake;
+      } else {
+        int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
+        int jb = boundary_slot(xc, b);
+        int64_t from_rakes = best_far >= 0 ? best_far : INT64_MIN / 4;
+        next[jb] = std::max(extb, from_rakes);
+        ext[0] = next[0];
+        ext[1] = next[1];
+        c = pc.center_child;
+      }
+      continue;
+    }
+    if (pc.children.size() == 1) {
+      uint32_t ch = pc.children[0];
+      const Cluster& cc = clusters_[ch];
+      int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        if (j >= 0) next[j] = std::max(next[j], ext[i]);
+      }
+      ext[0] = next[0];
+      ext[1] = next[1];
+      c = ch;
+      continue;
+    }
+    uint32_t A = pc.children[0], B = pc.children[1];
+    const Cluster& ac = clusters_[A];
+    const Cluster& bc = clusters_[B];
+    int sa = boundary_slot(ac, pc.merge_u);
+    int sb = boundary_slot(bc, pc.merge_v);
+    auto side_far = [&](const Cluster& side, int sm, Vertex me) -> int64_t {
+      int64_t far = side.max_dist[sm];
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex || ext[i] <= INT64_MIN / 8) continue;
+        int j = boundary_slot(side, q);
+        if (j < 0) continue;
+        int64_t d = (q == me) ? 0 : side.path_len;
+        far = std::max(far, d + ext[i]);
+      }
+      return far;
+    };
+    int64_t fa = side_far(ac, sa, pc.merge_u);
+    int64_t fb = side_far(bc, sb, pc.merge_v);
+    const Cluster& go = fa >= fb ? ac : bc;
+    uint32_t goid = fa >= fb ? A : B;
+    Vertex ge = fa >= fb ? pc.merge_u : pc.merge_v;
+    int64_t other_far = fa >= fb ? fb : fa;
+    int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
+    for (int i = 0; i < 2; ++i) {
+      if (go.bv[i] == kNoVertex) continue;
+      if (go.bv[i] == ge) next[i] = std::max(next[i], other_far + 1);
+      for (int k = 0; k < 2; ++k) {
+        if (pc.bv[k] == go.bv[i] && ext[k] > INT64_MIN / 8)
+          next[i] = std::max(next[i], ext[k]);
+      }
+    }
+    ext[0] = next[0];
+    ext[1] = next[1];
+    c = goid;
+  }
+  return clusters_[c].leaf_vertex;
+}
+
+Vertex UfoTree::component_median(Vertex v) const {
+  uint32_t c = tree_root(v);
+  int64_t extw[2] = {0, 0};
+  while (!clusters_[c].children.empty()) {
+    const Cluster& pc = clusters_[c];
+    if (pc.center_child != 0) {
+      const Cluster& xc = clusters_[pc.center_child];
+      Vertex b = xc.bv[0];
+      int64_t extb = 0;
+      for (int i = 0; i < 2; ++i)
+        if (pc.bv[i] == b) extb += extw[i];
+      int64_t total = pc.sub_sum + extb;
+      // If some rake holds more than half the weight, the median is inside
+      // it; otherwise it is at b or inside the center child.
+      uint32_t heavy = 0;
+      for (uint32_t s : pc.children) {
+        if (s == pc.center_child) continue;
+        if (2 * clusters_[s].sub_sum > total) {
+          heavy = s;
+          break;
+        }
+      }
+      if (heavy != 0) {
+        const Cluster& sc = clusters_[heavy];
+        int js = boundary_slot(sc, sc.nbrs[0].my_end);
+        int64_t next[2] = {0, 0};
+        if (js >= 0) next[js] = total - sc.sub_sum;
+        extw[0] = next[0];
+        extw[1] = next[1];
+        c = heavy;
+      } else {
+        int jb = boundary_slot(xc, b);
+        int64_t outside_x = total - xc.sub_sum;
+        int64_t next[2] = {0, 0};
+        next[jb] = outside_x;
+        extw[0] = next[0];
+        extw[1] = next[1];
+        c = pc.center_child;
+      }
+      continue;
+    }
+    if (pc.children.size() == 1) {
+      uint32_t ch = pc.children[0];
+      const Cluster& cc = clusters_[ch];
+      int64_t next[2] = {0, 0};
+      for (int i = 0; i < 2; ++i) {
+        if (pc.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cc, pc.bv[i]);
+        if (j >= 0) next[j] += extw[i];
+      }
+      extw[0] = next[0];
+      extw[1] = next[1];
+      c = ch;
+      continue;
+    }
+    uint32_t A = pc.children[0], B = pc.children[1];
+    const Cluster& ac = clusters_[A];
+    const Cluster& bc = clusters_[B];
+    auto side_weight = [&](const Cluster& side) -> int64_t {
+      int64_t w = side.sub_sum;
+      for (int i = 0; i < 2; ++i) {
+        Vertex q = pc.bv[i];
+        if (q == kNoVertex) continue;
+        if (boundary_slot(side, q) >= 0) w += extw[i];
+      }
+      return w;
+    };
+    int64_t wa = side_weight(ac);
+    int64_t wb = side_weight(bc);
+    const Cluster& go = wa >= wb ? ac : bc;
+    uint32_t goid = wa >= wb ? A : B;
+    Vertex ge = wa >= wb ? pc.merge_u : pc.merge_v;
+    int64_t other_w = wa >= wb ? wb : wa;
+    int64_t next[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+      if (go.bv[i] == kNoVertex) continue;
+      if (go.bv[i] == ge) next[i] += other_w;
+      for (int k = 0; k < 2; ++k) {
+        if (pc.bv[k] == go.bv[i]) next[i] += extw[k];
+      }
+    }
+    extw[0] = next[0];
+    extw[1] = next[1];
+    c = goid;
+  }
+  return clusters_[c].leaf_vertex;
+}
+
+}  // namespace ufo::seq

@@ -1,0 +1,1043 @@
+// UFO tree core: cluster pool, Algorithm 1 (DeleteAncestors with the
+// high-degree / high-fanout survival guard), Algorithm 2 (update with
+// high-degree reclustering), multi-level edge walks, and aggregate
+// maintenance. Queries live in ufo_queries.cc.
+#include "seq/ufo_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ufo::seq {
+
+namespace {
+constexpr int32_t kFreedLevel = -1;
+bool trace_enabled() { return std::getenv("UFO_TRACE") != nullptr; }
+#define UFO_TRACE(...) \
+  do { \
+    if (trace_enabled()) std::fprintf(stderr, __VA_ARGS__); \
+  } while (0)
+}
+
+UfoTree::UfoTree(size_t n) : n_(n), vweight_(n, 1), marked_(n, 0) {
+  clusters_.resize(n + 1);
+  for (Vertex v = 0; v < n; ++v) {
+    Cluster& c = clusters_[leaf_id(v)];
+    c.leaf_vertex = v;
+    c.level = 0;
+    refresh_leaf(leaf_id(v));
+  }
+  roots_.resize(1);
+}
+
+void UfoTree::refresh_leaf(uint32_t leaf) {
+  Cluster& c = clusters_[leaf];
+  Vertex v = c.leaf_vertex;
+  c.n_verts = 1;
+  c.sub_sum = vweight_[v];
+  c.path_sum = 0;
+  c.path_max = kNegInf;
+  c.path_len = 0;
+  c.bv[0] = c.nbrs.empty() ? kNoVertex : v;
+  c.bv[1] = kNoVertex;
+  c.max_dist[0] = c.max_dist[1] = 0;
+  c.sum_dist[0] = c.sum_dist[1] = 0;
+  c.marked_count = marked_[v] ? 1 : 0;
+  c.marked_dist[0] = c.marked_dist[1] = marked_[v] ? 0 : kInf;
+  c.diam = 0;
+}
+
+namespace {
+
+// Reset a cluster to its default-constructed state while recycling the
+// adjacency/children vector buffers — allocs/frees of pooled clusters are
+// on the per-update hot path, and dropping the capacity each time turns
+// every link/cut into several round trips to the allocator.
+template <class ClusterT>
+void recycle(ClusterT& c) {
+  auto nbrs = std::move(c.nbrs);
+  auto children = std::move(c.children);
+  nbrs.clear();
+  children.clear();
+  c = ClusterT{};
+  c.nbrs = std::move(nbrs);
+  c.children = std::move(children);
+}
+
+}  // namespace
+
+uint32_t UfoTree::alloc_cluster(int32_t level) {
+  uint32_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    recycle(clusters_[id]);
+  } else {
+    id = static_cast<uint32_t>(clusters_.size());
+    clusters_.emplace_back();
+  }
+  clusters_[id].level = level;
+  return id;
+}
+
+void UfoTree::free_cluster(uint32_t c) {
+  recycle(clusters_[c]);
+  clusters_[c].level = kFreedLevel;
+  free_.push_back(c);
+}
+
+bool UfoTree::adj_contains(uint32_t c, uint32_t d) const {
+  for (const Adj& a : clusters_[c].nbrs)
+    if (a.nbr == d) return true;
+  return false;
+}
+
+const UfoTree::Adj* UfoTree::adj_find(uint32_t c, uint32_t d) const {
+  for (const Adj& a : clusters_[c].nbrs)
+    if (a.nbr == d) return &a;
+  return nullptr;
+}
+
+void UfoTree::adj_remove(uint32_t c, uint32_t d) {
+  auto& nbrs = clusters_[c].nbrs;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i].nbr == d) {
+      nbrs[i] = nbrs.back();
+      nbrs.pop_back();
+      return;
+    }
+  }
+}
+
+uint32_t UfoTree::tree_root(Vertex v) const {
+  uint32_t c = leaf_id(v);
+  while (clusters_[c].parent != 0) c = clusters_[c].parent;
+  return c;
+}
+
+void UfoTree::add_root(uint32_t c) {
+  UFO_TRACE("  add_root %u (lvl %d)\n", c, clusters_[c].level);
+  size_t lvl = static_cast<size_t>(clusters_[c].level);
+  if (roots_.size() <= lvl) roots_.resize(lvl + 1);
+  roots_[lvl].push_back(c);
+}
+
+void UfoTree::mark_dirty(uint32_t c) { dirty_.push_back(c); }
+
+void UfoTree::add_child(uint32_t p, uint32_t c) {
+  clusters_[c].parent = p;
+  clusters_[c].pos_in_parent =
+      static_cast<uint32_t>(clusters_[p].children.size());
+  clusters_[p].children.push_back(c);
+}
+
+void UfoTree::remove_child(uint32_t p, uint32_t c) {
+  auto& kids = clusters_[p].children;
+  uint32_t idx = clusters_[c].pos_in_parent;
+  assert(idx < kids.size() && kids[idx] == c);
+  uint32_t last = kids.back();
+  kids[idx] = last;
+  clusters_[last].pos_in_parent = idx;
+  kids.pop_back();
+}
+
+size_t UfoTree::degree(Vertex v) const {
+  return clusters_[leaf_id(v)].nbrs.size();
+}
+
+bool UfoTree::has_edge(Vertex u, Vertex v) const {
+  return adj_contains(leaf_id(u), leaf_id(v));
+}
+
+// Algorithm 1. Walks the ancestor path of c. Low-degree/low-fanout
+// ancestors are deleted (children become root clusters); surviving
+// ancestors shed a low-degree (<= 2) child but keep high-degree children
+// attached, since such a child is the center of its parent's merge.
+void UfoTree::delete_ancestors(uint32_t c) {
+  uint32_t prev = c;
+  bool prev_deleted = false;
+  uint32_t cur = clusters_[c].parent;
+  if (cur == 0) {
+    add_root(c);
+    return;
+  }
+  while (cur != 0) {
+    uint32_t next = clusters_[cur].parent;
+    bool deletable =
+        clusters_[cur].nbrs.size() < 3 && clusters_[cur].children.size() < 3;
+    // A high-degree merge whose center is being removed (deleted below cur,
+    // or about to be stripped as a low-degree child) is no longer a valid
+    // merge: delete cur outright, rooting all its children. Its degree is
+    // bounded by the former center's (< 3), so this preserves the update
+    // cost bound.
+    if (!deletable && clusters_[cur].center_child == prev &&
+        clusters_[cur].center_child != 0 &&
+        (prev_deleted ||
+         (clusters_[prev].parent == cur && clusters_[prev].nbrs.size() <= 2)))
+      deletable = true;
+    if (deletable) {
+      for (const Adj& a : clusters_[cur].nbrs) adj_remove(a.nbr, cur);
+      for (uint32_t ch : clusters_[cur].children) {
+        clusters_[ch].parent = 0;
+        add_root(ch);
+      }
+      if (next != 0) {
+        if (clusters_[next].center_child != 0 &&
+            clusters_[next].center_child != cur &&
+            clusters_[next].rake_index_valid)
+          rake_index_remove(next, cur);
+        remove_child(next, cur);
+        // If next survives the walk its contents shrank; refresh later.
+        mark_dirty(next);
+      }
+      UFO_TRACE("  delete cluster %u (lvl %d) parent %u\n", cur,
+                clusters_[cur].level, next);
+      free_cluster(cur);
+    } else if (!prev_deleted && clusters_[prev].nbrs.size() <= 2 &&
+               clusters_[prev].parent == cur) {
+      // Disconnect the low-degree child from its surviving parent; the
+      // parent's contents shrink, so its chain needs aggregate refreshes.
+      if (clusters_[cur].center_child != 0 &&
+          clusters_[cur].center_child != prev &&
+          clusters_[cur].rake_index_valid)
+        rake_index_remove(cur, prev);
+      remove_child(cur, prev);
+      clusters_[prev].parent = 0;
+      add_root(prev);
+      mark_dirty(cur);
+      UFO_TRACE("  disconnect %u (lvl %d) from survivor %u\n", prev,
+                clusters_[prev].level, cur);
+    }
+    prev = cur;
+    prev_deleted = deletable;
+    cur = next;
+  }
+}
+
+void UfoTree::delete_ancestors_all(uint32_t c) {
+  uint32_t cur = clusters_[c].parent;
+  if (cur == 0) {
+    add_root(c);
+    return;
+  }
+  while (cur != 0) {
+    uint32_t next = clusters_[cur].parent;
+    for (const Adj& a : clusters_[cur].nbrs) adj_remove(a.nbr, cur);
+    for (uint32_t ch : clusters_[cur].children) {
+      clusters_[ch].parent = 0;
+      add_root(ch);
+    }
+    if (next != 0) {
+      remove_child(next, cur);
+      mark_dirty(next);
+    }
+    UFO_TRACE("  delete-all cluster %u (lvl %d)\n", cur, clusters_[cur].level);
+    free_cluster(cur);
+    cur = next;
+  }
+}
+
+void UfoTree::dissolve(uint32_t c) {
+  UFO_TRACE("  dissolve cluster %u (lvl %d)\n", c, clusters_[c].level);
+  for (const Adj& a : clusters_[c].nbrs) {
+    adj_remove(a.nbr, c);
+    mark_dirty(a.nbr);
+  }
+  for (uint32_t ch : clusters_[c].children) {
+    clusters_[ch].parent = 0;
+    add_root(ch);
+  }
+  free_cluster(c);
+}
+
+void UfoTree::repair(uint32_t c) {
+  if (!alive(c) || clusters_[c].children.empty()) return;  // leaves are safe
+  const Cluster& cc = clusters_[c];
+  // Own boundary invariant: <= 2 distinct boundary vertices, and exactly 1
+  // when degree >= 3.
+  Vertex b0 = kNoVertex, b1 = kNoVertex;
+  bool own_bad = false;
+  for (const Adj& a : cc.nbrs) {
+    if (b0 == kNoVertex || b0 == a.my_end) {
+      b0 = a.my_end;
+    } else if (b1 == kNoVertex || b1 == a.my_end) {
+      b1 = a.my_end;
+    } else {
+      own_bad = true;
+    }
+  }
+  if (cc.nbrs.size() >= 3 && b1 != kNoVertex) own_bad = true;
+  if (own_bad) {
+    UFO_TRACE("  repair: cluster %u own boundary invalid\n", c);
+    delete_ancestors_all(c);
+    dissolve(c);
+    return;
+  }
+  uint32_t p = clusters_[c].parent;
+  if (p == 0) return;
+  const Cluster& pc = clusters_[p];
+  bool role_bad = false;
+  if (pc.center_child != 0 && pc.center_child != c) {
+    // c is a rake: must keep exactly one edge, to the center.
+    role_bad =
+        cc.nbrs.size() != 1 || cc.nbrs[0].nbr != pc.center_child;
+  } else if (pc.center_child == 0 && pc.children.size() == 2) {
+    uint32_t sib = pc.children[0] == c ? pc.children[1] : pc.children[0];
+    role_bad = !adj_contains(c, sib);  // pair's merge edge must persist
+  }
+  if (role_bad) {
+    UFO_TRACE("  repair: cluster %u role under %u invalid\n", c, p);
+    delete_ancestors_all(c);  // roots c; parent and above rebuilt
+  }
+}
+
+// Insert or remove edge (u, v) at every level where the ancestor chains of
+// both endpoints have distinct clusters (Algorithm 2, line 2). Surviving
+// chains are centered on their vertex, so entries attach at the boundary.
+void UfoTree::edge_walk(Vertex u, Vertex v, Weight w, bool insert) {
+  uint32_t a = leaf_id(u), b = leaf_id(v);
+  while (a != 0 && b != 0 && a != b) {
+    if (insert) {
+      assert(!adj_contains(a, b));
+      clusters_[a].nbrs.push_back({b, u, v, w});
+      clusters_[b].nbrs.push_back({a, v, u, w});
+    } else {
+      assert(adj_contains(a, b));
+      adj_remove(a, b);
+      adj_remove(b, a);
+    }
+    // Refresh immediately (the walk is bottom-up, so children are final):
+    // reclustering reads these clusters' boundary slots before the dirty
+    // flush would get to them.
+    recompute_aggregates(a);
+    recompute_aggregates(b);
+    mark_dirty(a);  // ancestors above the walk still need refreshing
+    mark_dirty(b);
+    a = clusters_[a].parent;
+    b = clusters_[b].parent;
+  }
+}
+
+void UfoTree::link(Vertex u, Vertex v, Weight w) {
+  assert(u != v && !connected(u, v));
+  delete_ancestors(leaf_id(u));
+  delete_ancestors(leaf_id(v));
+  edge_walk(u, v, w, /*insert=*/true);
+  // Leaf aggregates (boundary slots in particular) must be current before
+  // reclustering reads them; higher-level survivors keep their boundary
+  // vertex and are refreshed at flush_dirty().
+  refresh_leaf(leaf_id(u));
+  refresh_leaf(leaf_id(v));
+  for (uint32_t c = clusters_[leaf_id(u)].parent; c != 0;) {
+    uint32_t up = clusters_[c].parent;
+    repair(c);
+    c = up;
+  }
+  for (uint32_t c = clusters_[leaf_id(v)].parent; c != 0;) {
+    uint32_t up = clusters_[c].parent;
+    repair(c);
+    c = up;
+  }
+  // The surviving top of each chain is parentless; with its degree changed
+  // by the new edge it must participate in reclustering (e.g. a preserved
+  // tree-root cluster that now has an edge to the other tree).
+  add_root(tree_root(u));
+  add_root(tree_root(v));
+  recluster();
+  flush_dirty();
+}
+
+void UfoTree::cut(Vertex u, Vertex v) {
+  assert(has_edge(u, v));
+  // Remove the edge at every level *before* deleting ancestors: the walk
+  // needs the intact parent chains to reach entries that earlier updates
+  // propagated above the chains' current common height. (The survival
+  // guards in delete_ancestors consequently see post-cut degrees, which
+  // also retires merges whose center degraded below degree 3.)
+  edge_walk(u, v, 0, /*insert=*/false);
+  delete_ancestors(leaf_id(u));
+  delete_ancestors(leaf_id(v));
+  refresh_leaf(leaf_id(u));
+  refresh_leaf(leaf_id(v));
+  for (uint32_t c = clusters_[leaf_id(u)].parent; c != 0;) {
+    uint32_t up = clusters_[c].parent;
+    repair(c);
+    c = up;
+  }
+  for (uint32_t c = clusters_[leaf_id(v)].parent; c != 0;) {
+    uint32_t up = clusters_[c].parent;
+    repair(c);
+    c = up;
+  }
+  add_root(tree_root(u));
+  add_root(tree_root(v));
+  recluster();
+  flush_dirty();
+}
+
+void UfoTree::batch_update(const std::vector<Update>& batch) {
+  // Phase 1: remove all deleted edges at every level (chains still intact).
+  for (const Update& up : batch)
+    if (up.is_delete) edge_walk(up.u, up.v, 0, /*insert=*/false);
+  // Phase 2: one ancestor-deletion walk per distinct endpoint.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(2 * batch.size());
+  for (const Update& up : batch) {
+    endpoints.push_back(up.u);
+    endpoints.push_back(up.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  for (Vertex v : endpoints) delete_ancestors(leaf_id(v));
+  // Phase 3: insert new edges along the surviving chains.
+  for (const Update& up : batch)
+    if (!up.is_delete) edge_walk(up.u, up.v, up.w, /*insert=*/true);
+  // Phase 4: refresh leaves, repair drifted merges, root the chain tops.
+  for (Vertex v : endpoints) refresh_leaf(leaf_id(v));
+  for (Vertex v : endpoints) {
+    for (uint32_t c = clusters_[leaf_id(v)].parent; c != 0;) {
+      uint32_t up = clusters_[c].parent;
+      repair(c);
+      c = up;
+    }
+  }
+  for (Vertex v : endpoints) add_root(tree_root(v));
+  // Phase 5: one shared level-synchronous reclustering.
+  recluster();
+  flush_dirty();
+}
+
+void UfoTree::batch_link(const std::vector<Edge>& edges) {
+  std::vector<Update> batch;
+  batch.reserve(edges.size());
+  for (const Edge& e : edges) batch.push_back({e.u, e.v, e.w, false});
+  batch_update(batch);
+}
+
+void UfoTree::batch_cut(const std::vector<Edge>& edges) {
+  std::vector<Update> batch;
+  batch.reserve(edges.size());
+  for (const Edge& e : edges) batch.push_back({e.u, e.v, e.w, true});
+  batch_update(batch);
+}
+
+void UfoTree::set_vertex_weight(Vertex v, Weight w) {
+  vweight_[v] = w;
+  recompute_chain(leaf_id(v));
+}
+
+void UfoTree::set_mark(Vertex v, bool m) {
+  marked_[v] = m ? 1 : 0;
+  recompute_chain(leaf_id(v));
+}
+
+// Algorithm 2, lines 3-40: recluster level by level. Phase A gives every
+// high-degree root cluster a parent and rakes in all of its degree-1
+// neighbors; phase B pairs the remaining degree <= 2 root clusters.
+void UfoTree::recluster() {
+  for (size_t lvl = 0; lvl < roots_.size(); ++lvl) {
+   // Deletions above can re-root clusters at the level being processed;
+   // drain until the level is quiescent, and only then rebuild adjacency
+   // (rebuild requires every neighbor to have a parent).
+   while (!roots_[lvl].empty()) {
+    std::vector<uint32_t> changed;
+    std::vector<uint32_t> agg_only;  // recompute aggregates, no rebuild
+    while (!roots_[lvl].empty()) {
+    std::vector<uint32_t> batch = std::move(roots_[lvl]);
+    roots_[lvl].clear();
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    auto is_root = [&](uint32_t x) {
+      return clusters_[x].level == static_cast<int32_t>(lvl) &&
+             clusters_[x].parent == 0;
+    };
+    auto merges = [&](uint32_t y) {
+      uint32_t py = clusters_[y].parent;
+      return py != 0 && clusters_[py].children.size() >= 2;
+    };
+
+    // Phase A: high-degree root clusters rake in all degree-1 neighbors.
+    for (uint32_t x : batch) {
+      if (!is_root(x) || clusters_[x].nbrs.size() < 3) continue;
+      uint32_t p = alloc_cluster(static_cast<int32_t>(lvl) + 1);
+      clusters_[p].center_child = x;
+      add_child(p, x);
+      add_root(p);
+      changed.push_back(p);
+      UFO_TRACE("  phaseA new center parent %u over %u (deg %zu)\n", p, x,
+                clusters_[x].nbrs.size());
+      for (const Adj& a : clusters_[x].nbrs) {
+        uint32_t y = a.nbr;
+        if (clusters_[y].nbrs.size() != 1) continue;
+        if (clusters_[y].parent != 0) delete_ancestors(y);
+        add_child(p, y);
+      }
+    }
+
+    // Phase B: remaining degree 1 and 2 root clusters.
+    for (uint32_t x : batch) {
+      if (!is_root(x)) continue;
+      Cluster& xc = clusters_[x];
+      size_t d = xc.nbrs.size();
+      if (d == 0) continue;  // completed tree root
+      bool merged = false;
+      if (d == 2) {
+        for (const Adj& a : xc.nbrs) {
+          uint32_t y = a.nbr;
+          if (clusters_[y].nbrs.size() > 2 || merges(y)) continue;
+          if (clusters_[y].parent != 0) {
+            uint32_t py = clusters_[y].parent;  // fanout-1 extension of y
+            delete_ancestors(py);               // detaches py (low degree)
+            assert(clusters_[py].parent == 0);
+            add_child(py, x);
+            clusters_[py].center_child = 0;  // becomes a plain pair merge
+            clusters_[py].rake_index_valid = false;
+            clusters_[py].merge_u = a.other_end;  // inside y = children[0]
+            clusters_[py].merge_v = a.my_end;
+            clusters_[py].merge_w = a.w;
+            changed.push_back(py);
+          } else {
+            uint32_t p = alloc_cluster(static_cast<int32_t>(lvl) + 1);
+            add_child(p, x);
+            add_child(p, y);
+            clusters_[p].merge_u = a.my_end;
+            clusters_[p].merge_v = a.other_end;
+            clusters_[p].merge_w = a.w;
+            add_root(p);
+            changed.push_back(p);
+            UFO_TRACE("  d2 new pair %u = {%u,%u} merge (%u,%u)\n", p, x, y,
+                      a.my_end, a.other_end);
+          }
+          merged = true;
+          break;
+        }
+      } else if (d == 1) {
+        const Adj a = xc.nbrs[0];
+        uint32_t y = a.nbr;
+        size_t dy = clusters_[y].nbrs.size();
+        if (clusters_[y].parent != 0 && !merges(y)) {
+          uint32_t py = clusters_[y].parent;
+          UFO_TRACE("  d1 attach x=%u into py=%u (y=%u ydeg %zu)\n", x, py,
+                    y, dy);
+          delete_ancestors(py);
+          add_child(py, x);
+          clusters_[py].rake_index_valid = false;  // merge shape changed
+          if (dy >= 3) {
+            clusters_[py].center_child = y;  // becomes a high-degree merge
+          } else {
+            clusters_[py].center_child = 0;  // becomes a plain pair merge
+            clusters_[py].merge_u = a.other_end;
+            clusters_[py].merge_v = a.my_end;
+            clusters_[py].merge_w = a.w;
+          }
+          if (clusters_[py].parent == 0) {
+            changed.push_back(py);  // rooted by delete_ancestors
+          } else {
+            // py kept its high-degree attachment; x's single edge is
+            // internal, so only aggregates up the chain need refreshing.
+            assert(dy >= 3);
+            mark_dirty(py);
+          }
+          merged = true;
+        } else if (clusters_[y].parent != 0 && dy >= 3) {
+          // y is the center of an existing high-degree merge: rake x on.
+          uint32_t py = clusters_[y].parent;
+          assert(clusters_[py].center_child == y);
+          delete_ancestors(py);  // may or may not detach py
+          add_child(py, x);
+          if (clusters_[py].rake_index_valid) rake_index_add(py, x);
+          UFO_TRACE("  rake-attach %u onto %s py=%u\n", x,
+                    clusters_[py].parent == 0 ? "rooted" : "attached", py);
+          if (clusters_[py].parent == 0) {
+            agg_only.push_back(py);  // a rake's edge is internal: the
+            add_root(py);            // parent's adjacency is unchanged
+          } else {
+            mark_dirty(py);  // attached chain gains x's content
+          }
+          merged = true;
+        } else if (clusters_[y].parent == 0) {
+          UFO_TRACE("  d1 new pair over {%u,%u} ydeg %zu\n", x, y, dy);
+          assert(dy <= 2 && "phase A handles high-degree roots");
+          uint32_t p = alloc_cluster(static_cast<int32_t>(lvl) + 1);
+          add_child(p, x);
+          add_child(p, y);
+          clusters_[p].merge_u = a.my_end;
+          clusters_[p].merge_v = a.other_end;
+          clusters_[p].merge_w = a.w;
+          add_root(p);
+          changed.push_back(p);
+          merged = true;
+        }
+      }
+      if (!merged) {
+        UFO_TRACE("  singleton parent for %u\n", x);
+        uint32_t p = alloc_cluster(static_cast<int32_t>(lvl) + 1);
+        add_child(p, x);
+        add_root(p);
+        changed.push_back(p);
+      }
+    }
+
+    }  // level quiescent; now rebuild adjacency for all new parents
+
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    std::vector<uint32_t> touched;
+    for (uint32_t p : changed)
+      if (alive(p)) rebuild_adjacency(p, &touched);
+    // Attached survivors whose adjacency was touched may have gained or
+    // lost a boundary vertex — possibly invalidating their role in their
+    // parent's merge (degree drift). Repair first, then refresh them in the
+    // same pass so the next level reads current slot values; their
+    // ancestors are refreshed through the dirty set.
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (uint32_t q : touched) repair(q);
+    for (uint32_t q : touched) {
+      // A parentless touched cluster (e.g. a completed tree root that just
+      // gained a propagated edge) must recluster at its own level.
+      if (alive(q) && clusters_[q].parent == 0) add_root(q);
+      changed.push_back(q);
+    }
+    for (uint32_t q : agg_only) changed.push_back(q);
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    for (uint32_t p : changed) {
+      if (alive(p)) {
+        UFO_TRACE("  recompute changed %u (lvl %d, fanout %zu)\n", p,
+                  clusters_[p].level, clusters_[p].children.size());
+        recompute_aggregates(p);
+        mark_dirty(p);
+      }
+    }
+   }
+   // A repair below the current level re-roots clusters there; rewind.
+   for (size_t back = 0; back <= lvl; ++back) {
+     if (!roots_[back].empty()) {
+       lvl = back - 1;  // loop ++ brings us to `back`
+       break;
+     }
+   }
+  }
+  roots_.assign(1, {});
+}
+
+void UfoTree::rebuild_adjacency(uint32_t p, std::vector<uint32_t>* touched) {
+  Cluster& pc = clusters_[p];
+  for (const Adj& a : pc.nbrs) {
+    adj_remove(a.nbr, p);
+    touched->push_back(a.nbr);  // its boundary set may have shrunk
+  }
+  pc.nbrs.clear();
+  for (uint32_t c : pc.children) {
+    for (const Adj& a : clusters_[c].nbrs) {
+      uint32_t q = clusters_[a.nbr].parent;
+#ifndef NDEBUG
+      if (q == 0)
+        std::fprintf(stderr,
+                     "rebuild %u (lvl %d): child %u neighbor %u (lvl %d, "
+                     "deg %zu) has no parent\n",
+                     p, pc.level, c, a.nbr, clusters_[a.nbr].level,
+                     clusters_[a.nbr].nbrs.size());
+#endif
+      assert(q != 0 && "neighbor must have been reclustered");
+      if (q == p) continue;
+      if (!adj_contains(p, q))
+        pc.nbrs.push_back({q, a.my_end, a.other_end, a.w});
+      if (!adj_contains(q, p)) {
+        clusters_[q].nbrs.push_back({p, a.other_end, a.my_end, a.w});
+        touched->push_back(q);  // may have gained a boundary vertex
+      }
+    }
+  }
+}
+
+void UfoTree::flush_dirty() {
+  if (dirty_.empty()) return;
+  std::sort(dirty_.begin(), dirty_.end(), [&](uint32_t a, uint32_t b) {
+    return clusters_[a].level < clusters_[b].level;
+  });
+  for (uint32_t c : dirty_) {
+    if (!alive(c)) continue;
+    UFO_TRACE("  flush dirty %u (lvl %d)\n", c, clusters_[c].level);
+    recompute_chain(c);
+  }
+  dirty_.clear();
+}
+
+void UfoTree::recompute_chain(uint32_t c) {
+  uint32_t cur = c;
+  while (cur != 0) {
+    recompute_aggregates(cur);
+    uint32_t par = clusters_[cur].parent;
+    if (par != 0) {
+      Cluster& pp = clusters_[par];
+      if (pp.center_child != 0 && pp.center_child != cur &&
+          pp.rake_index_valid) {
+        // cur is a rake whose values changed: refresh its index entry.
+        rake_index_remove(par, cur);
+        rake_index_add(par, cur);
+      }
+    }
+    cur = par;
+  }
+}
+
+int UfoTree::boundary_slot(const Cluster& c, Vertex bv) const {
+  if (c.bv[0] == bv) return 0;
+  if (c.bv[1] == bv) return 1;
+  return -1;
+}
+
+// Contribution of rake r hanging off the center vertex (depth includes the
+// rake edge hop). Caches the values on r so removal is exact.
+void UfoTree::rake_index_add(uint32_t p, uint32_t r) {
+  Cluster& pc = clusters_[p];
+  Cluster& rc = clusters_[r];
+  int sr = boundary_slot(rc, rc.nbrs.empty() ? kNoVertex : rc.nbrs[0].my_end);
+  rc.contrib_depth = 1 + (sr >= 0 ? rc.max_dist[sr] : 0);
+  rc.contrib_mark =
+      sr >= 0 && rc.marked_dist[sr] < kInf ? 1 + rc.marked_dist[sr] : kInf;
+  rc.contrib_diam = rc.diam;
+  rc.contrib_sub = rc.sub_sum;
+  rc.contrib_sumdist = (sr >= 0 ? rc.sum_dist[sr] : 0) + rc.sub_sum;
+  rc.contrib_nverts = rc.n_verts;
+  rc.contrib_marked = rc.marked_count;
+  pc.rake_depths.insert(rc.contrib_depth);
+  if (rc.contrib_mark < kInf) pc.rake_marks.insert(rc.contrib_mark);
+  pc.rake_diams.insert(rc.contrib_diam);
+  pc.rake_sub_total += rc.contrib_sub;
+  pc.rake_sumdist_total += rc.contrib_sumdist;
+  pc.rake_nverts_total += rc.contrib_nverts;
+  pc.rake_marked_total += rc.contrib_marked;
+}
+
+void UfoTree::rake_index_remove(uint32_t p, uint32_t r) {
+  Cluster& pc = clusters_[p];
+  const Cluster& rc = clusters_[r];
+  auto erase_one = [](std::multiset<int64_t>& ms, int64_t v) {
+    auto it = ms.find(v);
+    assert(it != ms.end());
+    ms.erase(it);
+  };
+  erase_one(pc.rake_depths, rc.contrib_depth);
+  if (rc.contrib_mark < kInf) erase_one(pc.rake_marks, rc.contrib_mark);
+  erase_one(pc.rake_diams, rc.contrib_diam);
+  pc.rake_sub_total -= rc.contrib_sub;
+  pc.rake_sumdist_total -= rc.contrib_sumdist;
+  pc.rake_nverts_total -= rc.contrib_nverts;
+  pc.rake_marked_total -= rc.contrib_marked;
+}
+
+// O(log fanout) aggregate refresh for a superunary cluster whose rake index
+// is current: rake contributions come from the index, the center's from its
+// live fields.
+void UfoTree::recompute_from_rake_index(uint32_t p) {
+  Cluster& pc = clusters_[p];
+  const Cluster& x = clusters_[pc.center_child];
+  Vertex b = x.bv[0];
+  int sx = boundary_slot(x, b);
+  if (sx < 0) sx = 0;  // degraded center mid-update; repaired by the walks
+  pc.bv[0] = pc.nbrs.empty() ? kNoVertex : b;
+  pc.bv[1] = kNoVertex;
+  pc.n_verts = x.n_verts + pc.rake_nverts_total;
+  pc.sub_sum = x.sub_sum + pc.rake_sub_total;
+  pc.marked_count = x.marked_count + pc.rake_marked_total;
+  int64_t rake_max = pc.rake_depths.empty() ? -1 : *pc.rake_depths.rbegin();
+  int64_t maxd = std::max<int64_t>(x.max_dist[sx], rake_max);
+  pc.max_dist[0] = maxd;
+  pc.max_dist[1] = 0;
+  pc.sum_dist[0] = x.sum_dist[sx] + pc.rake_sumdist_total;
+  pc.sum_dist[1] = 0;
+  int64_t markd = x.marked_dist[sx];
+  if (!pc.rake_marks.empty())
+    markd = std::min(markd, *pc.rake_marks.begin());
+  pc.marked_dist[0] = markd;
+  pc.marked_dist[1] = kInf;
+  // Diameter: child diameters plus the two deepest branches through b.
+  int64_t dm = x.diam;
+  if (!pc.rake_diams.empty())
+    dm = std::max(dm, *pc.rake_diams.rbegin());
+  // Two deepest branches through b: the center's content is one branch
+  // (depth >= 0), the two deepest rakes are the other candidates.
+  int64_t c0 = x.max_dist[sx];
+  auto it = pc.rake_depths.rbegin();
+  if (it != pc.rake_depths.rend()) {
+    int64_t r1 = *it;
+    ++it;
+    int64_t r2 = it != pc.rake_depths.rend() ? *it : -1;
+    dm = std::max(dm, c0 + r1);
+    if (r2 >= 0) dm = std::max(dm, r1 + r2);
+  }
+  pc.diam = dm;
+  pc.path_sum = 0;
+  pc.path_max = kNegInf;
+  pc.path_len = 0;
+  if (pc.bv[0] == kNoVertex) {
+    pc.max_dist[0] = 0;
+    pc.sum_dist[0] = 0;
+    pc.marked_dist[0] = kInf;
+  }
+}
+
+void UfoTree::recompute_aggregates(uint32_t p) {
+  Cluster& pc = clusters_[p];
+  if (pc.children.empty()) {  // leaf cluster
+    refresh_leaf(p);
+    return;
+  }
+  pc.bv[0] = pc.bv[1] = kNoVertex;
+  for (const Adj& a : pc.nbrs) {
+    if (pc.bv[0] == kNoVertex || pc.bv[0] == a.my_end) {
+      pc.bv[0] = a.my_end;
+    } else if (pc.bv[1] == kNoVertex || pc.bv[1] == a.my_end) {
+      pc.bv[1] = a.my_end;
+    } else {
+      assert(false && "cluster has >2 distinct boundary vertices");
+    }
+  }
+  if (pc.center_child != 0) {  // superunary (high-degree) merge
+    if (!pc.rake_index_valid) {
+      pc.rake_depths.clear();
+      pc.rake_marks.clear();
+      pc.rake_diams.clear();
+      pc.rake_sub_total = 0;
+      pc.rake_sumdist_total = 0;
+      pc.rake_nverts_total = 0;
+      pc.rake_marked_total = 0;
+      for (uint32_t c : pc.children) {
+        if (c == pc.center_child) continue;
+        rake_index_add(p, c);
+      }
+      pc.rake_index_valid = true;
+    }
+    recompute_from_rake_index(p);
+    return;
+  }
+  if (pc.children.size() == 1) {
+    const Cluster& c = clusters_[pc.children[0]];
+    pc.n_verts = c.n_verts;
+    pc.sub_sum = c.sub_sum;
+    pc.marked_count = c.marked_count;
+    pc.path_sum = c.path_sum;
+    pc.path_max = c.path_max;
+    pc.path_len = c.path_len;
+    pc.diam = c.diam;
+    for (int i = 0; i < 2; ++i) {
+      if (pc.bv[i] == kNoVertex) {
+        pc.max_dist[i] = 0;
+        pc.sum_dist[i] = 0;
+        pc.marked_dist[i] = kInf;
+        continue;
+      }
+      int j = boundary_slot(c, pc.bv[i]);
+      assert(j >= 0);
+      pc.max_dist[i] = c.max_dist[j];
+      pc.sum_dist[i] = c.sum_dist[j];
+      pc.marked_dist[i] = c.marked_dist[j];
+    }
+    return;
+  }
+  // Pair merge (fanout 2, merge edge recorded).
+  assert(pc.children.size() == 2);
+  const Cluster& a = clusters_[pc.children[0]];
+  const Cluster& b = clusters_[pc.children[1]];
+  pc.n_verts = a.n_verts + b.n_verts;
+  pc.sub_sum = a.sub_sum + b.sub_sum;
+  pc.marked_count = a.marked_count + b.marked_count;
+  int sa = boundary_slot(a, pc.merge_u);
+  int sb = boundary_slot(b, pc.merge_v);
+#ifndef NDEBUG
+  if (sa < 0 || sb < 0) {
+    std::fprintf(stderr,
+                 "pair recompute %u lvl %d: children %u (bv %u,%u) / %u "
+                 "(bv %u,%u), merge (%u,%u) center %u\n",
+                 p, pc.level, pc.children[0], a.bv[0], a.bv[1],
+                 pc.children[1], b.bv[0], b.bv[1], pc.merge_u, pc.merge_v,
+                 pc.center_child);
+  }
+#endif
+  assert(sa >= 0 && sb >= 0);
+  pc.diam = std::max({a.diam, b.diam, a.max_dist[sa] + 1 + b.max_dist[sb]});
+  for (int i = 0; i < 2; ++i) {
+    Vertex q = pc.bv[i];
+    if (q == kNoVertex) {
+      pc.max_dist[i] = 0;
+      pc.sum_dist[i] = 0;
+      pc.marked_dist[i] = kInf;
+      continue;
+    }
+    int qa = boundary_slot(a, q);
+    const Cluster& x = qa >= 0 ? a : b;
+    const Cluster& y = qa >= 0 ? b : a;
+    Vertex xe = qa >= 0 ? pc.merge_u : pc.merge_v;
+    Vertex ye = qa >= 0 ? pc.merge_v : pc.merge_u;
+    int sq = qa >= 0 ? qa : boundary_slot(b, q);
+    assert(sq >= 0);
+    int sye = boundary_slot(y, ye);
+    int64_t dq = (q == xe) ? 0 : x.path_len;
+    pc.max_dist[i] = std::max(x.max_dist[sq], dq + 1 + y.max_dist[sye]);
+    pc.sum_dist[i] = x.sum_dist[sq] + (dq + 1) * y.sub_sum + y.sum_dist[sye];
+    pc.marked_dist[i] =
+        std::min(x.marked_dist[sq],
+                 y.marked_dist[sye] >= kInf ? kInf : dq + 1 + y.marked_dist[sye]);
+  }
+  pc.path_sum = 0;
+  pc.path_max = kNegInf;
+  pc.path_len = 0;
+  if (pc.bv[0] != kNoVertex && pc.bv[1] != kNoVertex) {
+    int b0a = boundary_slot(a, pc.bv[0]);
+    int b1a = boundary_slot(a, pc.bv[1]);
+    if (b0a >= 0 && b1a >= 0) {
+      pc.path_sum = a.path_sum;
+      pc.path_max = a.path_max;
+      pc.path_len = a.path_len;
+    } else if (b0a < 0 && b1a < 0) {
+      pc.path_sum = b.path_sum;
+      pc.path_max = b.path_max;
+      pc.path_len = b.path_len;
+    } else {
+      Vertex qa2 = b0a >= 0 ? pc.bv[0] : pc.bv[1];
+      Vertex qb2 = b0a >= 0 ? pc.bv[1] : pc.bv[0];
+      Weight sum = pc.merge_w;
+      Weight mx = pc.merge_w;
+      int64_t len = 1;
+      if (qa2 != pc.merge_u) {
+        sum += a.path_sum;
+        mx = std::max(mx, a.path_max);
+        len += a.path_len;
+      }
+      if (qb2 != pc.merge_v) {
+        sum += b.path_sum;
+        mx = std::max(mx, b.path_max);
+        len += b.path_len;
+      }
+      pc.path_sum = sum;
+      pc.path_max = mx;
+      pc.path_len = len;
+    }
+  }
+}
+
+bool UfoTree::check_aggregates() {
+  std::vector<uint32_t> ids;
+  for (uint32_t id = 1; id < clusters_.size(); ++id)
+    if (clusters_[id].level > 0) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    return clusters_[a].level < clusters_[b].level;
+  });
+  bool ok = true;
+  for (uint32_t id : ids) {
+    Cluster saved = clusters_[id];
+    clusters_[id].rake_index_valid = false;  // verify incremental == full
+    recompute_aggregates(id);
+    const Cluster& c = clusters_[id];
+    if (saved.n_verts != c.n_verts || saved.sub_sum != c.sub_sum ||
+        saved.path_sum != c.path_sum || saved.path_max != c.path_max ||
+        saved.path_len != c.path_len || saved.diam != c.diam ||
+        saved.bv[0] != c.bv[0] || saved.bv[1] != c.bv[1] ||
+        saved.max_dist[0] != c.max_dist[0] ||
+        saved.max_dist[1] != c.max_dist[1] ||
+        saved.sum_dist[0] != c.sum_dist[0] ||
+        saved.marked_dist[0] != c.marked_dist[0] ||
+        saved.marked_count != c.marked_count) {
+      std::fprintf(stderr,
+                   "aggregate drift at cluster %u (level %d fanout %zu "
+                   "center %u): nv %u->%u psum %lld->%lld pmax %lld->%lld "
+                   "plen %lld->%lld diam %lld->%lld bv (%u,%u)->(%u,%u) "
+                   "maxd (%lld,%lld)->(%lld,%lld) sumd %lld->%lld "
+                   "markd %lld->%lld\n",
+                   id, c.level, c.children.size(), c.center_child,
+                   saved.n_verts, c.n_verts, (long long)saved.path_sum,
+                   (long long)c.path_sum, (long long)saved.path_max,
+                   (long long)c.path_max, (long long)saved.path_len,
+                   (long long)c.path_len, (long long)saved.diam,
+                   (long long)c.diam, saved.bv[0], saved.bv[1], c.bv[0],
+                   c.bv[1], (long long)saved.max_dist[0],
+                   (long long)saved.max_dist[1], (long long)c.max_dist[0],
+                   (long long)c.max_dist[1], (long long)saved.sum_dist[0],
+                   (long long)c.sum_dist[0], (long long)saved.marked_dist[0],
+                   (long long)c.marked_dist[0]);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+size_t UfoTree::height(Vertex v) const {
+  size_t h = 0;
+  for (uint32_t c = leaf_id(v); clusters_[c].parent != 0;
+       c = clusters_[c].parent)
+    ++h;
+  return h;
+}
+
+size_t UfoTree::memory_bytes() const {
+  size_t bytes = clusters_.capacity() * sizeof(Cluster) + sizeof(*this);
+  for (const Cluster& c : clusters_) {
+    bytes += c.nbrs.capacity() * sizeof(Adj);
+    bytes += c.children.capacity() * sizeof(uint32_t);
+  }
+  bytes += free_.capacity() * sizeof(uint32_t);
+  bytes += vweight_.capacity() * sizeof(Weight) + marked_.capacity();
+  return bytes;
+}
+
+bool UfoTree::check_valid() const {
+  for (uint32_t id = 1; id < clusters_.size(); ++id) {
+    const Cluster& c = clusters_[id];
+    if (c.level == kFreedLevel) continue;
+    for (uint32_t ch : c.children) {
+      if (clusters_[ch].parent != id) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 1, id); return false; }
+      if (clusters_[ch].level != c.level - 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 2, id); return false; }
+    }
+    for (const Adj& a : c.nbrs) {
+      if (!adj_contains(a.nbr, id)) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 3, id); return false; }
+      if (clusters_[a.nbr].level != c.level) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 4, id); return false; }
+    }
+    if (c.center_child != 0) {
+      // High-degree merge: every non-center child is a rake with a single
+      // edge to the center.
+      bool center_found = false;
+      for (uint32_t ch : c.children) {
+        if (ch == c.center_child) {
+          center_found = true;
+          continue;
+        }
+        const Cluster& r = clusters_[ch];
+        if (r.nbrs.size() != 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 5, id); return false; }
+        if (r.nbrs[0].nbr != c.center_child) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 6, id); return false; }
+      }
+      if (!center_found) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 7, id); return false; }
+    } else if (c.children.size() == 2) {
+      // Pair merge: children adjacent, degree sum <= 4 at merge time.
+      if (!adj_contains(c.children[0], c.children[1])) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 8, id); return false; }
+    } else if (c.children.size() > 2) {
+      { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 9, id); return false; }  // fanout >= 3 requires a center
+    }
+    // Maximality for root clusters.
+    if (c.parent == 0 && !c.nbrs.empty()) {
+      size_t d = c.nbrs.size();
+      for (const Adj& a : c.nbrs) {
+        const Cluster& y = clusters_[a.nbr];
+        size_t dy = y.nbrs.size();
+        bool allowed = (d + dy <= 4 && d <= 2 && dy <= 2) ||
+                       (d >= 3 && dy == 1) || (dy >= 3 && d == 1);
+        if (allowed && y.parent == 0) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 10, id); return false; }
+      }
+    }
+    // High-degree clusters merge with all their degree-1 neighbors.
+    if (c.nbrs.size() >= 3 && c.parent != 0) {
+      for (const Adj& a : c.nbrs) {
+        if (clusters_[a.nbr].nbrs.size() == 1 &&
+            clusters_[a.nbr].parent != c.parent)
+          { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 11, id); return false; }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ufo::seq

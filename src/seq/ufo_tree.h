@@ -1,0 +1,220 @@
+// UFO trees (unbounded fan-out trees) — the paper's core contribution
+// (Section 4). A contraction-based dynamic tree that handles arbitrary
+// vertex degrees directly (no ternarization) by allowing a high-degree
+// (>= 3) cluster to merge with *all* of its degree-1 neighbors in one round,
+// alongside the usual (1,1), (1,2), (2,2) pair merges.
+//
+// Height is O(min{log n, ceil(D/2)}) (Theorems 4.1/4.2), and updates run in
+// O(min{log n, D}) (Theorem 4.3) because the update algorithm never deletes
+// high-degree (>= 3 neighbors) or high-fanout (>= 3 children) clusters
+// (Algorithm 1); low-degree clusters on the ancestor path are instead
+// disconnected from surviving parents and reclustered.
+//
+// Structural invariants relied on throughout (see DESIGN.md):
+//   * every cluster has at most two distinct boundary vertices;
+//   * clusters with >= 3 incident edges (superunary) have exactly one
+//     boundary vertex — their "center" — and arise only from high-degree
+//     merges, whose center child is recorded in `center_child`;
+//   * a vertex's surviving attached ancestor chain consists of clusters
+//     centered on that vertex, so multi-level edge updates always attach at
+//     the single boundary vertex.
+//
+// Queries: connectivity, path sum/max/length, subtree sum/size, LCA,
+// component diameter / center / median, nearest-marked-vertex (App. C.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/forest.h"
+
+namespace ufo::seq {
+
+class UfoTree {
+ public:
+  explicit UfoTree(size_t n);
+
+  size_t size() const { return n_; }
+
+  // --- Updates (any degree allowed) ----------------------------------------
+  void link(Vertex u, Vertex v, Weight w = 1);
+  void cut(Vertex u, Vertex v);
+  // Batch-dynamic update (Section 5.2 / Algorithm 4 structure): applies a
+  // mixed batch of insertions and deletions with ONE shared bottom-up
+  // reclustering pass, so the per-level work of overlapping updates is
+  // shared. The batch must contain at most one update per edge, and every
+  // ordering of the batch must be a valid update sequence.
+  void batch_update(const std::vector<Update>& batch);
+  void batch_link(const std::vector<Edge>& edges);
+  void batch_cut(const std::vector<Edge>& edges);
+  bool has_edge(Vertex u, Vertex v) const;
+  void set_vertex_weight(Vertex v, Weight w);
+  void set_mark(Vertex v, bool marked);
+
+  // --- Queries --------------------------------------------------------------
+  bool connected(Vertex u, Vertex v) const;
+  Weight path_sum(Vertex u, Vertex v) const;
+  Weight path_max(Vertex u, Vertex v) const;
+  int64_t path_length(Vertex u, Vertex v) const;  // hop count
+  Weight subtree_sum(Vertex v, Vertex p) const;
+  size_t subtree_size(Vertex v, Vertex p) const;
+  Vertex lca(Vertex u, Vertex v, Vertex r) const;
+  void path_milestone(Vertex u, Vertex v, Vertex* a, Vertex* b) const;
+  int64_t component_diameter(Vertex v) const;
+  Vertex component_center(Vertex v) const;
+  Vertex component_median(Vertex v) const;
+  int64_t nearest_marked_distance(Vertex v) const;
+
+  size_t degree(Vertex v) const;
+
+  // --- Introspection ---------------------------------------------------------
+  size_t memory_bytes() const;
+  size_t height(Vertex v) const;
+  bool check_valid() const;
+  // Recomputes every cluster's aggregates bottom-up and compares with the
+  // maintained values; returns false (and reports) on any divergence.
+  bool check_aggregates();
+
+ private:
+  struct Adj {
+    uint32_t nbr = 0;
+    Vertex my_end = kNoVertex;
+    Vertex other_end = kNoVertex;
+    Weight w = 0;
+  };
+
+  struct Cluster {
+    uint32_t parent = 0;
+    uint32_t pos_in_parent = 0;  // index in parent's children vector
+    int32_t level = 0;
+    Vertex leaf_vertex = kNoVertex;
+    uint32_t center_child = 0;  // nonzero => superunary (high-degree) merge
+    std::vector<Adj> nbrs;
+    std::vector<uint32_t> children;
+
+    // Merge edge for fanout-2 pair merges (center_child == 0 only).
+    Vertex merge_u = kNoVertex;  // inside children[0]
+    Vertex merge_v = kNoVertex;  // inside children[1]
+    Weight merge_w = 0;
+
+    // Aggregates (identical layout to TopologyTree; see topology_tree.h).
+    uint32_t n_verts = 1;
+    Weight sub_sum = 0;
+    Weight path_sum = 0;
+    Weight path_max = kNegInf;
+    int64_t path_len = 0;
+    Vertex bv[2] = {kNoVertex, kNoVertex};
+    int64_t max_dist[2] = {0, 0};
+    int64_t sum_dist[2] = {0, 0};
+    int64_t marked_dist[2] = {kInf, kInf};
+    int64_t diam = 0;
+    uint32_t marked_count = 0;
+
+    // --- Incremental rake index (superunary clusters only) ---------------
+    // Keeping non-invertible aggregates O(log) under single rake
+    // attach/detach, standing in for the paper's rank trees (Section 4.2):
+    // multisets index the rake contributions; running totals cover the
+    // invertible parts; each rake caches the contribution it last added.
+    bool rake_index_valid = false;
+    std::multiset<int64_t> rake_depths;   // 1 + rake.max_dist
+    std::multiset<int64_t> rake_marks;    // 1 + rake.marked_dist (finite only)
+    std::multiset<int64_t> rake_diams;    // rake.diam
+    Weight rake_sub_total = 0;
+    int64_t rake_sumdist_total = 0;
+    uint32_t rake_nverts_total = 0;
+    uint32_t rake_marked_total = 0;
+
+    // Cached contribution this cluster last pushed into its parent's index
+    // (meaningful only while it is a rake child of a superunary parent).
+    int64_t contrib_depth = 0;
+    int64_t contrib_mark = 0;
+    int64_t contrib_diam = 0;
+    Weight contrib_sub = 0;
+    int64_t contrib_sumdist = 0;
+    uint32_t contrib_nverts = 0;
+    uint32_t contrib_marked = 0;
+  };
+
+  static constexpr Weight kNegInf = INT64_MIN / 4;
+  static constexpr int64_t kInf = INT64_MAX / 4;
+
+  uint32_t leaf_id(Vertex v) const { return v + 1; }
+  uint32_t alloc_cluster(int32_t level);
+  void free_cluster(uint32_t c);
+  bool alive(uint32_t c) const { return clusters_[c].level >= 0; }
+
+  size_t cluster_degree(uint32_t c) const { return clusters_[c].nbrs.size(); }
+  size_t fanout(uint32_t c) const { return clusters_[c].children.size(); }
+  bool adj_contains(uint32_t c, uint32_t d) const;
+  const Adj* adj_find(uint32_t c, uint32_t d) const;
+  void adj_remove(uint32_t c, uint32_t d);
+
+  uint32_t tree_root(Vertex v) const;
+  // children bookkeeping with O(1) positional removal (superunary clusters
+  // can have Theta(n) children; a linear scan per detach would be O(n^2)
+  // over a star teardown).
+  void add_child(uint32_t p, uint32_t c);
+  void remove_child(uint32_t p, uint32_t c);
+  void add_root(uint32_t c);
+  void mark_dirty(uint32_t c);
+
+  // Algorithm 1: walk up from c deleting low-degree/low-fanout ancestors;
+  // surviving ancestors keep high-degree children attached and shed
+  // low-degree ones. c itself is detached (and rooted) iff its degree <= 2
+  // or its parent chain was deleted.
+  void delete_ancestors(uint32_t c);
+  // Fallback used by validity repair: deletes *every* ancestor of c
+  // unconditionally (the topology-tree rule) and roots c.
+  void delete_ancestors_all(uint32_t c);
+  // Degree drift from multi-level edge updates can invalidate a preserved
+  // merge (e.g. a rake gaining a second edge, or a cluster gaining a third
+  // boundary vertex). repair() checks c's boundary invariant and its role
+  // under its parent, dissolving/reclustering on violation.
+  void repair(uint32_t c);
+  // Root c's children, remove its adjacency, and free it.
+  void dissolve(uint32_t c);
+  // Insert (or remove) the edge between the ancestor chains of u and v at
+  // every level where both sides have distinct clusters.
+  void edge_walk(Vertex u, Vertex v, Weight w, bool insert);
+  void recluster();
+  void rebuild_adjacency(uint32_t p, std::vector<uint32_t>* touched);
+  void recompute_aggregates(uint32_t p);
+  // Incremental rake-index maintenance (O(log fanout) each).
+  void rake_index_add(uint32_t p, uint32_t r);
+  void rake_index_remove(uint32_t p, uint32_t r);
+  // Recompute p's aggregates from the valid rake index + fresh center
+  // values, without touching the rake children.
+  void recompute_from_rake_index(uint32_t p);
+  void refresh_leaf(uint32_t leaf);
+  void flush_dirty();
+  // Recompute c and every ancestor, refreshing c's (and each ancestor's)
+  // cached contribution in superunary parents' rake indexes on the way up.
+  void recompute_chain(uint32_t c);
+
+  struct RepPath {
+    Weight sum[2] = {0, 0};
+    Weight max[2] = {kNegInf, kNegInf};
+    int64_t len[2] = {0, 0};
+  };
+  RepPath climb_rep_path(Vertex from, uint32_t stop, uint32_t* child) const;
+  bool is_ancestor(uint32_t anc, uint32_t leaf) const;
+  uint32_t lca_cluster(uint32_t a, uint32_t b) const;
+  int boundary_slot(const Cluster& c, Vertex bv) const;
+  // Value of f from a climbed endpoint to the center vertex of the LCA's
+  // superunary merge (used by path queries at superunary LCA clusters).
+  // child = the LCA child on that endpoint's side.
+  void side_to_center(uint32_t lca, uint32_t child, const RepPath& rp,
+                      Weight* sum, Weight* mx, int64_t* len) const;
+
+  size_t n_;
+  std::vector<Cluster> clusters_;
+  std::vector<uint32_t> free_;
+  std::vector<Weight> vweight_;
+  std::vector<uint8_t> marked_;
+  std::vector<std::vector<uint32_t>> roots_;
+  std::vector<uint32_t> dirty_;
+};
+
+}  // namespace ufo::seq

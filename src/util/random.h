@@ -1,0 +1,65 @@
+// Deterministic, fast pseudo-random number generation used throughout the
+// library. All generators are seedable so experiments are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace ufo::util {
+
+// SplitMix64: tiny, statistically solid generator; also used to hash seeds.
+struct SplitMix64 {
+  uint64_t state;
+
+  explicit constexpr SplitMix64(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  constexpr uint64_t next(uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+// Stateless hash usable from parallel loops: hash(i) is an independent
+// pseudo-random value per index.
+constexpr uint64_t hash64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Fisher--Yates permutation of 0..n-1 with the given seed.
+inline std::vector<uint32_t> random_permutation(size_t n, uint64_t seed) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  SplitMix64 rng(seed);
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.next(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+// In-place shuffle of an arbitrary vector.
+template <class T>
+void shuffle(std::vector<T>& v, uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = rng.next(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace ufo::util

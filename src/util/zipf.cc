@@ -1,0 +1,25 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ufo::util {
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) : n_(n), alpha_(alpha) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -alpha);
+    cdf_[k] = total;
+  }
+  for (size_t k = 0; k < n; ++k) cdf_[k] /= total;
+}
+
+size_t ZipfSampler::sample(SplitMix64& rng) const {
+  double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace ufo::util

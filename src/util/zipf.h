@@ -1,0 +1,33 @@
+// Zipf-distributed sampling, used by the diameter-sweep tree generator
+// (Figure 6 of the paper): node i picks a parent in [0, i) Zipf(alpha).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ufo::util {
+
+// Samples from {0, 1, ..., n-1} with P(k) proportional to (k+1)^{-alpha}.
+// alpha = 0 is the uniform distribution; larger alpha concentrates mass on
+// small k, which in the tree generator yields lower-diameter trees.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha);
+
+  // Sample using the caller's RNG (so parallel callers can use per-index
+  // generators and remain deterministic).
+  size_t sample(SplitMix64& rng) const;
+
+  size_t domain() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  size_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace ufo::util

@@ -1,0 +1,305 @@
+// Adversarial workloads: update patterns chosen to stress the weak points
+// of each structure — edge flapping (allocator churn), skewed shapes
+// (caterpillars, brooms, spiders, double stars), worst-case teardown
+// orders, degree transitions across the high-degree threshold (the UFO
+// merge-rule boundary at degree 3), and extreme weights.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/link_cut_tree.h"
+#include "seq/splay_top_tree.h"
+#include "seq/ternarize.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+// Caterpillar: a spine path with one leg per spine vertex.
+EdgeList caterpillar(size_t n) {
+  EdgeList edges;
+  size_t spine = n / 2;
+  for (Vertex v = 1; v < spine; ++v) edges.push_back({v - 1, v, 1});
+  for (Vertex v = static_cast<Vertex>(spine); v < n; ++v)
+    edges.push_back({static_cast<Vertex>(v - spine), v, 1});
+  return edges;
+}
+
+// Broom: a path whose last vertex fans out into a star.
+EdgeList broom(size_t n) {
+  EdgeList edges;
+  size_t handle = n / 2;
+  for (Vertex v = 1; v < handle; ++v) edges.push_back({v - 1, v, 1});
+  for (Vertex v = static_cast<Vertex>(handle); v < n; ++v)
+    edges.push_back({static_cast<Vertex>(handle - 1), v, 1});
+  return edges;
+}
+
+// Spider: k legs of equal length radiating from a hub.
+EdgeList spider(size_t legs, size_t leg_len) {
+  EdgeList edges;
+  Vertex next = 1;
+  for (size_t l = 0; l < legs; ++l) {
+    Vertex prev = 0;
+    for (size_t i = 0; i < leg_len; ++i) {
+      edges.push_back({prev, next, 1});
+      prev = next++;
+    }
+  }
+  return edges;
+}
+
+// Double star: two hubs joined by a bridge, leaves split between them.
+EdgeList double_star(size_t n) {
+  EdgeList edges;
+  edges.push_back({0, 1, 1});
+  for (Vertex v = 2; v < n; ++v) edges.push_back({v % 2, v, 1});
+  return edges;
+}
+
+template <class Tree>
+void run_shape_differential(size_t n, const EdgeList& edges, uint64_t seed) {
+  Tree t(n);
+  RefForest ref(n);
+  util::SplitMix64 rng(seed);
+  for (const Edge& e : edges) {
+    Weight w = static_cast<Weight>(1 + rng.next(30));
+    t.link(e.u, e.v, w);
+    ref.link(e.u, e.v, w);
+  }
+  for (int q = 0; q < 120; ++q) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) continue;
+    ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v)) << u << "," << v;
+    ASSERT_EQ(t.path_max(u, v), ref.path_max(u, v)) << u << "," << v;
+  }
+  // Cut the highest-stress edge (first edge: spine/bridge/hub edge),
+  // re-query across the split, relink, re-query.
+  const Edge& cut_edge = edges.front();
+  t.cut(cut_edge.u, cut_edge.v);
+  ref.cut(cut_edge.u, cut_edge.v);
+  for (int q = 0; q < 60; ++q) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    ASSERT_EQ(t.connected(u, v), ref.connected(u, v));
+    if (u != v && ref.connected(u, v))
+      ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v));
+  }
+  t.link(cut_edge.u, cut_edge.v, 5);
+  ref.link(cut_edge.u, cut_edge.v, 5);
+  for (int q = 0; q < 60; ++q) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) continue;
+    ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v));
+  }
+}
+
+template <class Tree>
+class AdversarialShapes : public ::testing::Test {};
+
+using PathTrees = ::testing::Types<UfoTree, Ternarizer<TopologyTree>,
+                                   LinkCutTree, SplayTopTree>;
+
+class ShapeTreeNames {
+ public:
+  template <class T>
+  static std::string GetName(int) {
+    if constexpr (std::is_same_v<T, UfoTree>) return "Ufo";
+    if constexpr (std::is_same_v<T, Ternarizer<TopologyTree>>)
+      return "Topology";
+    if constexpr (std::is_same_v<T, LinkCutTree>) return "LinkCut";
+    if constexpr (std::is_same_v<T, SplayTopTree>) return "SplayTop";
+    return "Unknown";
+  }
+};
+
+TYPED_TEST_SUITE(AdversarialShapes, PathTrees, ShapeTreeNames);
+
+TYPED_TEST(AdversarialShapes, Caterpillar) {
+  run_shape_differential<TypeParam>(120, caterpillar(120), 71);
+}
+
+TYPED_TEST(AdversarialShapes, Broom) {
+  run_shape_differential<TypeParam>(120, broom(120), 73);
+}
+
+TYPED_TEST(AdversarialShapes, Spider) {
+  run_shape_differential<TypeParam>(121, spider(8, 15), 79);
+}
+
+TYPED_TEST(AdversarialShapes, DoubleStar) {
+  run_shape_differential<TypeParam>(120, double_star(120), 83);
+}
+
+TYPED_TEST(AdversarialShapes, EdgeFlapping) {
+  // Rapidly toggling the same edge must not leak memory or corrupt state.
+  TypeParam t(16);
+  for (Vertex v = 1; v < 16; ++v) t.link(0, v);
+  size_t base = t.memory_bytes();
+  for (int i = 0; i < 2000; ++i) {
+    t.cut(0, 7);
+    t.link(0, 7, (i % 13) + 1);
+  }
+  EXPECT_TRUE(t.connected(7, 8));
+  EXPECT_EQ(t.path_sum(7, 8), ((1999 % 13) + 1) + 1);
+  EXPECT_LE(t.memory_bytes(), base + (1u << 16)) << "memory grew under flap";
+}
+
+TYPED_TEST(AdversarialShapes, BridgeFlappingBetweenStars) {
+  constexpr size_t n = 64;
+  TypeParam t(n);
+  RefForest ref(n);
+  for (const Edge& e : double_star(n)) {
+    t.link(e.u, e.v, e.w);
+    ref.link(e.u, e.v, e.w);
+  }
+  for (int i = 0; i < 300; ++i) {
+    t.cut(0, 1);
+    ASSERT_FALSE(t.connected(2, 3));
+    t.link(0, 1, 1);
+    ASSERT_TRUE(t.connected(2, 3));
+  }
+  for (Vertex v = 2; v < n; ++v)
+    ASSERT_EQ(t.path_sum(v, (v % 2) ^ 1), ref.path_sum(v, (v % 2) ^ 1));
+}
+
+// --- UFO-specific degree-threshold adversaries -----------------------------
+
+TEST(UfoAdversarial, DegreeOscillationAroundHighDegreeThreshold) {
+  // Vertex 0 oscillates between degree 2 (pair merges) and degree 6
+  // (high-degree rake merge), crossing the UFO merge-rule boundary each
+  // round.
+  constexpr size_t n = 32;
+  UfoTree t(n);
+  RefForest ref(n);
+  t.link(0, 1);
+  ref.link(0, 1);
+  t.link(0, 2);
+  ref.link(0, 2);
+  for (int round = 0; round < 50; ++round) {
+    for (Vertex v = 3; v < 7; ++v) {
+      t.link(0, v, round + v);
+      ref.link(0, v, round + v);
+    }
+    ASSERT_TRUE(t.check_valid()) << "round " << round << " high";
+    for (Vertex v = 1; v < 7; ++v)
+      ASSERT_EQ(t.path_sum(v, v == 1 ? 2 : 1), ref.path_sum(v, v == 1 ? 2 : 1));
+    for (Vertex v = 3; v < 7; ++v) {
+      t.cut(0, v);
+      ref.cut(0, v);
+    }
+    ASSERT_TRUE(t.check_valid()) << "round " << round << " low";
+  }
+}
+
+TEST(UfoAdversarial, StarMigration) {
+  // Leaves migrate one by one from hub A to hub B: every step changes both
+  // hubs' degrees and forces rake-set maintenance on both sides.
+  constexpr size_t n = 40;
+  UfoTree t(n);
+  RefForest ref(n);
+  t.link(0, 1);
+  ref.link(0, 1);
+  for (Vertex v = 2; v < n; ++v) {
+    t.link(0, v);
+    ref.link(0, v);
+  }
+  for (Vertex v = 2; v < n; ++v) {
+    t.cut(0, v);
+    ref.cut(0, v);
+    t.link(1, v);
+    ref.link(1, v);
+    ASSERT_TRUE(t.check_valid()) << "migrating " << v;
+    ASSERT_EQ(t.subtree_size(0, 1), ref.subtree_size(0, 1));
+    ASSERT_EQ(t.subtree_size(1, 0), ref.subtree_size(1, 0));
+  }
+  EXPECT_EQ(t.degree(0), 1u);
+  EXPECT_EQ(t.degree(1), n - 1);
+}
+
+TEST(UfoAdversarial, PathRootRelocation) {
+  // Repeatedly cut the path in the middle and re-join at the ends,
+  // rotating which vertex is the "deep" end of the contraction.
+  constexpr size_t n = 100;
+  UfoTree t(n);
+  RefForest ref(n);
+  for (Vertex v = 1; v < n; ++v) {
+    t.link(v - 1, v, v);
+    ref.link(v - 1, v, v);
+  }
+  util::SplitMix64 rng(91);
+  std::vector<Edge> live;
+  for (Vertex v = 1; v < n; ++v) live.push_back({v - 1, v, Weight(v)});
+  for (int round = 0; round < 120; ++round) {
+    size_t i = rng.next(live.size());
+    Edge e = live[i];
+    t.cut(e.u, e.v);
+    ref.cut(e.u, e.v);
+    // Rejoin the two components at random endpoints.
+    Vertex a = static_cast<Vertex>(rng.next(n));
+    while (!ref.connected(a, e.u)) a = static_cast<Vertex>(rng.next(n));
+    Vertex b = static_cast<Vertex>(rng.next(n));
+    while (!ref.connected(b, e.v)) b = static_cast<Vertex>(rng.next(n));
+    Weight w = static_cast<Weight>(1 + rng.next(50));
+    t.link(a, b, w);
+    ref.link(a, b, w);
+    live[i] = {a, b, w};
+    if (round % 10 == 0) {
+      ASSERT_TRUE(t.check_valid()) << "round " << round;
+      for (int q = 0; q < 20; ++q) {
+        Vertex u = static_cast<Vertex>(rng.next(n));
+        Vertex v = static_cast<Vertex>(rng.next(n));
+        if (u == v) continue;
+        ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v)) << "round " << round;
+      }
+    }
+  }
+}
+
+// --- Weight extremes --------------------------------------------------------
+
+TEST(WeightExtremes, NegativeAndZeroWeights) {
+  UfoTree t(12);
+  LinkCutTree lct(12);
+  SplayTopTree stt(12);
+  RefForest ref(12);
+  Weight weights[] = {-1000000, 0, 7, -3, 0, 42, -42, 1, 0, -7, 9};
+  for (Vertex v = 1; v < 12; ++v) {
+    Weight w = weights[v - 1];
+    t.link(v - 1, v, w);
+    lct.link(v - 1, v, w);
+    stt.link(v - 1, v, w);
+    ref.link(v - 1, v, w);
+  }
+  for (Vertex u = 0; u < 12; ++u)
+    for (Vertex v = u + 1; v < 12; ++v) {
+      EXPECT_EQ(t.path_sum(u, v), ref.path_sum(u, v));
+      EXPECT_EQ(lct.path_sum(u, v), ref.path_sum(u, v));
+      EXPECT_EQ(stt.path_sum(u, v), ref.path_sum(u, v));
+      EXPECT_EQ(t.path_max(u, v), ref.path_max(u, v));
+      EXPECT_EQ(lct.path_max(u, v), ref.path_max(u, v));
+      EXPECT_EQ(stt.path_max(u, v), ref.path_max(u, v));
+    }
+}
+
+TEST(WeightExtremes, LargeWeightsNoOverflow) {
+  // Weights near 2^40: sums over 10^2 edges stay far from int64 overflow,
+  // and aggregates must be exact.
+  constexpr size_t n = 100;
+  constexpr Weight big = Weight{1} << 40;
+  UfoTree t(n);
+  for (Vertex v = 1; v < n; ++v) t.link(v - 1, v, big + v);
+  Weight expect = 0;
+  for (Vertex v = 1; v < n; ++v) expect += big + v;
+  EXPECT_EQ(t.path_sum(0, n - 1), expect);
+  EXPECT_EQ(t.path_max(0, n - 1), big + (n - 1));
+}
+
+}  // namespace
+}  // namespace ufo::seq

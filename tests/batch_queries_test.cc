@@ -1,0 +1,155 @@
+// Tests for parallel batch queries: answers must equal the scalar query
+// results element-for-element on every input family, including when the
+// fork-join pool actually has worker threads.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/batch_queries.h"
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo::core {
+namespace {
+
+// Compile-time capability matrix: const-queryable vs self-adjusting.
+static_assert(ConstQueryable<seq::UfoTree>);
+static_assert(ConstQueryable<seq::TopologyTree>);
+
+TEST(BatchQueries, ConnectedMatchesScalar) {
+  constexpr size_t n = 300;
+  seq::UfoTree t(n);
+  EdgeList edges = gen::random_unbounded(n, 5);
+  // Drop some edges so disconnected pairs exist.
+  edges.resize(edges.size() - 40);
+  for (const Edge& e : edges) t.link(e.u, e.v, e.w);
+
+  util::SplitMix64 rng(1);
+  std::vector<VertexPair> q;
+  for (int i = 0; i < 5000; ++i)
+    q.emplace_back(static_cast<Vertex>(rng.next(n)),
+                   static_cast<Vertex>(rng.next(n)));
+  std::vector<uint8_t> got = batch_connected(t, q);
+  ASSERT_EQ(got.size(), q.size());
+  for (size_t i = 0; i < q.size(); ++i)
+    ASSERT_EQ(got[i] != 0, t.connected(q[i].first, q[i].second)) << i;
+}
+
+TEST(BatchQueries, PathAggregatesMatchScalar) {
+  constexpr size_t n = 300;
+  seq::UfoTree t(n);
+  util::SplitMix64 rng(2);
+  for (const Edge& e : gen::pref_attach(n, 7))
+    t.link(e.u, e.v, static_cast<Weight>(1 + rng.next(99)));
+
+  std::vector<VertexPair> q;
+  for (int i = 0; i < 5000; ++i) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) v = (v + 1) % n;
+    q.emplace_back(u, v);
+  }
+  std::vector<Weight> sums = batch_path_sum(t, q);
+  std::vector<Weight> maxes = batch_path_max(t, q);
+  for (size_t i = 0; i < q.size(); ++i) {
+    ASSERT_EQ(sums[i], t.path_sum(q[i].first, q[i].second)) << i;
+    ASSERT_EQ(maxes[i], t.path_max(q[i].first, q[i].second)) << i;
+  }
+}
+
+TEST(BatchQueries, SubtreeSumMatchesScalar) {
+  constexpr size_t n = 250;
+  seq::UfoTree t(n);
+  EdgeList edges = gen::dandelion(n);
+  for (const Edge& e : edges) t.link(e.u, e.v, e.w);
+  util::SplitMix64 rng(3);
+  for (Vertex v = 0; v < n; ++v)
+    t.set_vertex_weight(v, static_cast<Weight>(rng.next(50)));
+
+  std::vector<VertexPair> q;
+  for (const Edge& e : edges) {
+    q.emplace_back(e.u, e.v);
+    q.emplace_back(e.v, e.u);
+  }
+  std::vector<Weight> got = batch_subtree_sum(t, q);
+  for (size_t i = 0; i < q.size(); ++i)
+    ASSERT_EQ(got[i], t.subtree_sum(q[i].first, q[i].second)) << i;
+}
+
+TEST(BatchQueries, LcaMatchesScalar) {
+  constexpr size_t n = 200;
+  seq::UfoTree t(n);
+  for (const Edge& e : gen::random_unbounded(n, 11)) t.link(e.u, e.v, e.w);
+  util::SplitMix64 rng(4);
+  std::vector<std::array<Vertex, 3>> q;
+  while (q.size() < 2000) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    Vertex r = static_cast<Vertex>(rng.next(n));
+    if (u == v || v == r || u == r) continue;
+    q.push_back({u, v, r});
+  }
+  std::vector<Vertex> got = batch_lca(t, q);
+  for (size_t i = 0; i < q.size(); ++i)
+    ASSERT_EQ(got[i], t.lca(q[i][0], q[i][1], q[i][2])) << i;
+}
+
+TEST(BatchQueries, TopologyTreeBackend) {
+  constexpr size_t n = 260;
+  seq::TopologyTree t(n);
+  util::SplitMix64 rng(5);
+  for (const Edge& e : gen::random_degree3(n, 13))
+    t.link(e.u, e.v, static_cast<Weight>(1 + rng.next(20)));
+  std::vector<VertexPair> q;
+  for (int i = 0; i < 3000; ++i) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) v = (v + 1) % n;
+    q.emplace_back(u, v);
+  }
+  std::vector<Weight> sums = batch_path_sum(t, q);
+  for (size_t i = 0; i < q.size(); ++i)
+    ASSERT_EQ(sums[i], t.path_sum(q[i].first, q[i].second)) << i;
+}
+
+TEST(BatchQueries, InterleavedWithUpdates) {
+  // Queries between update batches see the current tree state.
+  constexpr size_t n = 120;
+  seq::UfoTree t(n);
+  RefForest ref(n);
+  EdgeList edges = gen::zipf_tree(n, 1.0, 17);
+  util::SplitMix64 rng(6);
+  for (const Edge& e : edges) {
+    t.link(e.u, e.v, e.w);
+    ref.link(e.u, e.v, e.w);
+  }
+  for (int round = 0; round < 10; ++round) {
+    size_t i = rng.next(edges.size());
+    Edge e = edges[i];
+    t.cut(e.u, e.v);
+    ref.cut(e.u, e.v);
+    std::vector<VertexPair> q;
+    for (int j = 0; j < 500; ++j)
+      q.emplace_back(static_cast<Vertex>(rng.next(n)),
+                     static_cast<Vertex>(rng.next(n)));
+    std::vector<uint8_t> got = batch_connected(t, q);
+    for (size_t j = 0; j < q.size(); ++j)
+      ASSERT_EQ(got[j] != 0, ref.connected(q[j].first, q[j].second));
+    t.link(e.u, e.v, e.w);
+    ref.link(e.u, e.v, e.w);
+  }
+}
+
+TEST(BatchQueries, EmptyBatch) {
+  seq::UfoTree t(4);
+  t.link(0, 1);
+  EXPECT_TRUE(batch_connected(t, {}).empty());
+  EXPECT_TRUE(batch_path_sum(t, {}).empty());
+}
+
+}  // namespace
+}  // namespace ufo::core

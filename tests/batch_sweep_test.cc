@@ -1,0 +1,240 @@
+// Batch-update equivalence sweeps (Section 5): for every batch size k, a
+// batched execution must reach exactly the state a sequential execution
+// reaches — connectivity, aggregates, and structural validity — on every
+// input family, for insert-only, delete-only, and mixed batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/ett_skiplist.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+struct BatchCase {
+  std::string name;
+  size_t n;
+  size_t k;  // batch size
+  EdgeList edges;
+};
+
+std::vector<BatchCase> batch_cases() {
+  std::vector<BatchCase> cases;
+  constexpr size_t n = 160;
+  struct G {
+    const char* name;
+    EdgeList edges;
+  };
+  std::vector<G> gens = {
+      {"path", gen::path(n)},
+      {"star", gen::star(n)},
+      {"random", gen::random_unbounded(n, 41)},
+      {"pattach", gen::pref_attach(n, 43)},
+  };
+  for (const G& g : gens)
+    for (size_t k : {1u, 2u, 3u, 7u, 16u, 64u, static_cast<unsigned>(n)}) {
+      cases.push_back(
+          {std::string(g.name) + "_k" + std::to_string(k), n, k, g.edges});
+    }
+  return cases;
+}
+
+template <class Tree>
+void check_connectivity(Tree& t, const RefForest& ref, size_t n,
+                        uint64_t seed, const std::string& ctx) {
+  util::SplitMix64 rng(seed);
+  for (int q = 0; q < 100; ++q) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    ASSERT_EQ(t.connected(u, v), ref.connected(u, v))
+        << ctx << " (" << u << "," << v << ")";
+  }
+}
+
+class UfoBatchSweep : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(UfoBatchSweep, BatchedInsertsThenDeletesMatchOracle) {
+  const BatchCase& bc = GetParam();
+  UfoTree t(bc.n);
+  RefForest ref(bc.n);
+  EdgeList order = bc.edges;
+  util::shuffle(order, 11);
+  for (size_t i = 0; i < order.size(); i += bc.k) {
+    EdgeList batch(order.begin() + i,
+                   order.begin() + std::min(order.size(), i + bc.k));
+    t.batch_link(batch);
+    for (const Edge& e : batch) ref.link(e.u, e.v, e.w);
+    ASSERT_TRUE(t.check_valid()) << bc.name << " after insert batch " << i;
+    check_connectivity(t, ref, bc.n, i, bc.name + " insert");
+  }
+  util::shuffle(order, 13);
+  for (size_t i = 0; i < order.size(); i += bc.k) {
+    EdgeList batch(order.begin() + i,
+                   order.begin() + std::min(order.size(), i + bc.k));
+    t.batch_cut(batch);
+    for (const Edge& e : batch) ref.cut(e.u, e.v);
+    ASSERT_TRUE(t.check_valid()) << bc.name << " after delete batch " << i;
+    check_connectivity(t, ref, bc.n, i + 1, bc.name + " delete");
+  }
+  for (Vertex v = 1; v < bc.n; ++v) ASSERT_FALSE(t.connected(0, v));
+}
+
+TEST_P(UfoBatchSweep, MixedBatchesMatchOracle) {
+  const BatchCase& bc = GetParam();
+  UfoTree t(bc.n);
+  RefForest ref(bc.n);
+  // Start from the full tree, then apply mixed batches: each batch deletes
+  // some live edges and inserts replacements that keep the forest acyclic
+  // (delete (u,v) -> relink the two sides at different endpoints).
+  t.batch_link(bc.edges);
+  for (const Edge& e : bc.edges) ref.link(e.u, e.v, e.w);
+  util::SplitMix64 rng(17);
+  EdgeList live = bc.edges;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Update> batch;
+    size_t takes = std::min(bc.k, live.size());
+    // Delete `takes` random live edges...
+    EdgeList removed;
+    for (size_t i = 0; i < takes; ++i) {
+      size_t j = rng.next(live.size());
+      removed.push_back(live[j]);
+      live[j] = live.back();
+      live.pop_back();
+    }
+    for (const Edge& e : removed) {
+      batch.push_back({e.u, e.v, e.w, true});
+      ref.cut(e.u, e.v);
+    }
+    // ...then reinsert edges joining the resulting components in a chain,
+    // computed against the oracle so the mixed batch stays a valid forest
+    // update under any interleaving.
+    std::vector<Vertex> reps;
+    std::vector<uint8_t> seen(bc.n, 0);
+    for (Vertex v = 0; v < bc.n; ++v) {
+      if (seen[v]) continue;
+      for (Vertex c : ref.component(v)) seen[c] = 1;
+      reps.push_back(v);
+    }
+    for (size_t i = 1; i < reps.size(); ++i) {
+      Weight w = static_cast<Weight>(1 + rng.next(9));
+      batch.push_back({reps[i - 1], reps[i], w, false});
+      ref.link(reps[i - 1], reps[i], w);
+      live.push_back({reps[i - 1], reps[i], w});
+    }
+    t.batch_update(batch);
+    ASSERT_TRUE(t.check_valid()) << bc.name << " round " << round;
+    check_connectivity(t, ref, bc.n, 100 + round, bc.name + " mixed");
+    // Path aggregates must also survive mixed batches.
+    for (int q = 0; q < 30; ++q) {
+      Vertex u = static_cast<Vertex>(rng.next(bc.n));
+      Vertex v = static_cast<Vertex>(rng.next(bc.n));
+      if (u == v || !ref.connected(u, v)) continue;
+      ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v))
+          << bc.name << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, UfoBatchSweep,
+                         ::testing::ValuesIn(batch_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// Topology trees only accept degree <= 3 inputs natively; sweep the batch
+// sizes on the degree-bounded families.
+struct TopoBatchCase {
+  std::string name;
+  size_t n;
+  size_t k;
+  EdgeList edges;
+};
+
+std::vector<TopoBatchCase> topo_cases() {
+  std::vector<TopoBatchCase> cases;
+  constexpr size_t n = 160;
+  struct G {
+    const char* name;
+    EdgeList edges;
+  };
+  std::vector<G> gens = {
+      {"path", gen::path(n)},
+      {"binary", gen::perfect_binary(n)},
+      {"random3", gen::random_degree3(n, 47)},
+  };
+  for (const G& g : gens)
+    for (size_t k : {1u, 3u, 16u, 64u, static_cast<unsigned>(n)})
+      cases.push_back(
+          {std::string(g.name) + "_k" + std::to_string(k), n, k, g.edges});
+  return cases;
+}
+
+class TopologyBatchSweep : public ::testing::TestWithParam<TopoBatchCase> {};
+
+TEST_P(TopologyBatchSweep, BatchedInsertsThenDeletesMatchOracle) {
+  const TopoBatchCase& bc = GetParam();
+  TopologyTree t(bc.n);
+  RefForest ref(bc.n);
+  EdgeList order = bc.edges;
+  util::shuffle(order, 23);
+  for (size_t i = 0; i < order.size(); i += bc.k) {
+    EdgeList batch(order.begin() + i,
+                   order.begin() + std::min(order.size(), i + bc.k));
+    t.batch_link(batch);
+    for (const Edge& e : batch) ref.link(e.u, e.v, e.w);
+    ASSERT_TRUE(t.check_valid()) << bc.name << " after insert batch " << i;
+    check_connectivity(t, ref, bc.n, i, bc.name + " insert");
+  }
+  util::shuffle(order, 29);
+  for (size_t i = 0; i < order.size(); i += bc.k) {
+    EdgeList batch(order.begin() + i,
+                   order.begin() + std::min(order.size(), i + bc.k));
+    t.batch_cut(batch);
+    for (const Edge& e : batch) ref.cut(e.u, e.v);
+    ASSERT_TRUE(t.check_valid()) << bc.name << " after delete batch " << i;
+    check_connectivity(t, ref, bc.n, i + 1, bc.name + " delete");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, TopologyBatchSweep,
+                         ::testing::ValuesIn(topo_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// Batch ETT (skip list): the Fig. 8 baseline must agree with the oracle for
+// all batch sizes too.
+class EttBatchSweep : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(EttBatchSweep, BatchedInsertsThenDeletesMatchOracle) {
+  const BatchCase& bc = GetParam();
+  EttSkipList t(bc.n);
+  RefForest ref(bc.n);
+  EdgeList order = bc.edges;
+  util::shuffle(order, 31);
+  for (size_t i = 0; i < order.size(); i += bc.k) {
+    EdgeList batch(order.begin() + i,
+                   order.begin() + std::min(order.size(), i + bc.k));
+    t.batch_link(batch);
+    for (const Edge& e : batch) ref.link(e.u, e.v, e.w);
+    check_connectivity(t, ref, bc.n, i, bc.name + " insert");
+  }
+  util::shuffle(order, 37);
+  for (size_t i = 0; i < order.size(); i += bc.k) {
+    EdgeList batch(order.begin() + i,
+                   order.begin() + std::min(order.size(), i + bc.k));
+    t.batch_cut(batch);
+    for (const Edge& e : batch) ref.cut(e.u, e.v);
+    check_connectivity(t, ref, bc.n, i + 1, bc.name + " delete");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, EttBatchSweep,
+                         ::testing::ValuesIn(batch_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace ufo::seq

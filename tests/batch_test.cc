@@ -1,0 +1,121 @@
+// Batch-dynamic update tests: one shared reclustering pass must produce the
+// same forest state as the equivalent sequence of single updates.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+TEST(BatchUfo, BuildInBatches) {
+  constexpr size_t n = 2000;
+  for (auto& input : gen::synthetic_suite(n, 11)) {
+    UfoTree t(n);
+    auto edges = input.edges;
+    util::shuffle(edges, 13);
+    size_t k = 257;
+    for (size_t i = 0; i < edges.size(); i += k) {
+      std::vector<Edge> batch(edges.begin() + i,
+                              edges.begin() + std::min(edges.size(), i + k));
+      t.batch_link(batch);
+    }
+    EXPECT_TRUE(t.check_valid()) << input.name;
+    EXPECT_TRUE(t.connected(0, static_cast<Vertex>(n - 1))) << input.name;
+  }
+}
+
+TEST(BatchUfo, DestroyInBatches) {
+  constexpr size_t n = 1500;
+  auto edges = gen::pref_attach(n, 5);
+  UfoTree t(n);
+  t.batch_link(edges);
+  ASSERT_TRUE(t.check_valid());
+  util::shuffle(edges, 6);
+  size_t k = 301;
+  for (size_t i = 0; i < edges.size(); i += k) {
+    std::vector<Edge> batch(edges.begin() + i,
+                            edges.begin() + std::min(edges.size(), i + k));
+    t.batch_cut(batch);
+    ASSERT_TRUE(t.check_valid()) << i;
+  }
+  for (Vertex v = 1; v < n; ++v) ASSERT_FALSE(t.connected(0, v));
+}
+
+TEST(BatchUfo, MixedBatchesDifferential) {
+  constexpr size_t n = 60;
+  UfoTree t(n);
+  RefForest ref(n);
+  util::SplitMix64 rng(77);
+  std::vector<std::pair<Vertex, Vertex>> live;
+  for (int round = 0; round < 60; ++round) {
+    std::vector<Update> batch;
+    RefForest staged = ref;  // staging copy to keep the batch consistent
+    // stage some deletions
+    int dels = static_cast<int>(rng.next(4));
+    for (int i = 0; i < dels && !live.empty(); ++i) {
+      size_t idx = rng.next(live.size());
+      auto [a, b] = live[idx];
+      batch.push_back({a, b, 1, true});
+      staged.cut(a, b);
+      ref.cut(a, b);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    // stage some insertions (consistent in any order: endpoints not
+    // connected even after all staged inserts)
+    int adds = 1 + static_cast<int>(rng.next(5));
+    for (int i = 0; i < adds; ++i) {
+      Vertex u = static_cast<Vertex>(rng.next(n));
+      Vertex v = static_cast<Vertex>(rng.next(n));
+      if (u == v || staged.connected(u, v)) continue;
+      Weight w = 1 + static_cast<Weight>(rng.next(30));
+      batch.push_back({u, v, w, false});
+      staged.link(u, v, w);
+      ref.link(u, v, w);
+      live.push_back({u, v});
+    }
+    t.batch_update(batch);
+    ASSERT_TRUE(t.check_valid()) << "round " << round;
+    ASSERT_TRUE(t.check_aggregates()) << "round " << round;
+    for (int i = 0; i < 30; ++i) {
+      Vertex u = static_cast<Vertex>(rng.next(n));
+      Vertex v = static_cast<Vertex>(rng.next(n));
+      ASSERT_EQ(t.connected(u, v), ref.connected(u, v)) << "round " << round;
+      if (u != v && ref.connected(u, v)) {
+        ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v)) << "round " << round;
+        ASSERT_EQ(t.path_length(u, v),
+                  static_cast<int64_t>(ref.path_length(u, v)));
+      }
+    }
+  }
+}
+
+TEST(BatchTopology, BuildAndDestroyDegree3) {
+  constexpr size_t n = 2000;
+  auto edges = gen::random_degree3(n, 21);
+  TopologyTree t(n);
+  util::shuffle(edges, 22);
+  size_t k = 199;
+  for (size_t i = 0; i < edges.size(); i += k) {
+    std::vector<Edge> batch(edges.begin() + i,
+                            edges.begin() + std::min(edges.size(), i + k));
+    t.batch_link(batch);
+  }
+  EXPECT_TRUE(t.check_valid());
+  EXPECT_TRUE(t.connected(0, n - 1));
+  util::shuffle(edges, 23);
+  for (size_t i = 0; i < edges.size(); i += k) {
+    std::vector<Edge> batch(edges.begin() + i,
+                            edges.begin() + std::min(edges.size(), i + k));
+    t.batch_cut(batch);
+  }
+  EXPECT_TRUE(t.check_valid());
+  for (Vertex v = 1; v < n; ++v) ASSERT_FALSE(t.connected(0, v));
+}
+
+}  // namespace
+}  // namespace ufo::seq

@@ -1,0 +1,130 @@
+// Differential tests for the three Euler-tour tree backends against the
+// RefForest oracle: random link/cut/connectivity/subtree interleavings.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/ett_skiplist.h"
+#include "seq/ett_splay.h"
+#include "seq/ett_treap.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+template <class Ett>
+class EttTest : public ::testing::Test {};
+
+using Backends = ::testing::Types<EttTreap, EttSplay, EttSkipList>;
+TYPED_TEST_SUITE(EttTest, Backends);
+
+TYPED_TEST(EttTest, BasicLinkCutConnectivity) {
+  TypeParam t(6);
+  EXPECT_FALSE(t.connected(0, 1));
+  t.link(0, 1);
+  t.link(1, 2);
+  t.link(3, 4);
+  EXPECT_TRUE(t.connected(0, 2));
+  EXPECT_FALSE(t.connected(2, 3));
+  EXPECT_TRUE(t.connected(3, 4));
+  t.cut(1, 2);
+  EXPECT_FALSE(t.connected(0, 2));
+  EXPECT_TRUE(t.connected(0, 1));
+  t.link(2, 3);
+  EXPECT_TRUE(t.connected(2, 4));
+}
+
+TYPED_TEST(EttTest, SelfConnectivity) {
+  TypeParam t(3);
+  EXPECT_TRUE(t.connected(1, 1));
+}
+
+TYPED_TEST(EttTest, SubtreeSumStar) {
+  TypeParam t(5);
+  for (Vertex v = 1; v < 5; ++v) t.link(0, v);
+  for (Vertex v = 0; v < 5; ++v) t.set_vertex_weight(v, 10 * (v + 1));
+  // Subtree of leaf 3 w.r.t. parent 0 is just {3}.
+  EXPECT_EQ(t.subtree_sum(3, 0), 40);
+  // Subtree of hub 0 w.r.t. parent 3 is everything except 3.
+  EXPECT_EQ(t.subtree_sum(0, 3), 10 + 20 + 30 + 50);
+  EXPECT_EQ(t.subtree_size(0, 3), 4u);
+  EXPECT_EQ(t.component_size(2), 5u);
+}
+
+TYPED_TEST(EttTest, BuildAndDestroyPath) {
+  constexpr size_t n = 200;
+  TypeParam t(n);
+  auto edges = gen::path(n);
+  util::shuffle(edges, 17);
+  RefForest ref(n);
+  for (const Edge& e : edges) {
+    t.link(e.u, e.v);
+    ref.link(e.u, e.v);
+  }
+  EXPECT_TRUE(t.connected(0, n - 1));
+  util::shuffle(edges, 18);
+  for (const Edge& e : edges) {
+    t.cut(e.u, e.v);
+    ref.cut(e.u, e.v);
+    // Spot-check connectivity after each cut.
+    EXPECT_EQ(t.connected(0, n - 1), ref.connected(0, n - 1));
+  }
+  for (Vertex v = 1; v < n; ++v) EXPECT_FALSE(t.connected(0, v));
+}
+
+TYPED_TEST(EttTest, RandomizedDifferential) {
+  constexpr size_t n = 60;
+  constexpr int kSteps = 3000;
+  TypeParam t(n);
+  RefForest ref(n);
+  util::SplitMix64 rng(123);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (int step = 0; step < kSteps; ++step) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) continue;
+    int action = static_cast<int>(rng.next(4));
+    if (action == 0 && !ref.connected(u, v)) {
+      t.link(u, v);
+      ref.link(u, v);
+      edges.push_back({u, v});
+    } else if (action == 1 && !edges.empty()) {
+      size_t idx = rng.next(edges.size());
+      auto [a, b] = edges[idx];
+      t.cut(a, b);
+      ref.cut(a, b);
+      edges[idx] = edges.back();
+      edges.pop_back();
+    } else if (action == 2) {
+      ASSERT_EQ(t.connected(u, v), ref.connected(u, v)) << "step " << step;
+    } else if (action == 3 && !edges.empty()) {
+      auto [p, c] = edges[rng.next(edges.size())];
+      ASSERT_EQ(t.subtree_sum(c, p), ref.subtree_sum(c, p)) << "step " << step;
+      ASSERT_EQ(t.subtree_size(c, p), ref.subtree_size(c, p));
+    }
+  }
+}
+
+TYPED_TEST(EttTest, VertexWeightUpdates) {
+  TypeParam t(4);
+  t.link(0, 1);
+  t.link(1, 2);
+  t.link(2, 3);
+  t.set_vertex_weight(3, 100);
+  EXPECT_EQ(t.subtree_sum(2, 1), 1 + 100);
+  t.set_vertex_weight(3, 7);
+  EXPECT_EQ(t.subtree_sum(2, 1), 1 + 7);
+}
+
+TYPED_TEST(EttTest, MemoryReported) {
+  TypeParam t(100);
+  size_t base = t.memory_bytes();
+  EXPECT_GT(base, 0u);
+  for (Vertex v = 1; v < 100; ++v) t.link(0, v);
+  EXPECT_GT(t.memory_bytes(), base);
+}
+
+}  // namespace
+}  // namespace ufo::seq

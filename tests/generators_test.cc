@@ -1,0 +1,162 @@
+// Tests for the input generators: every generator must produce a forest
+// (acyclic, right edge count), and the diameter-controlling families must
+// order as documented.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace ufo::gen {
+namespace {
+
+// Union-find check that an edge list over n vertices forms a forest; returns
+// number of tree edges accepted (== edges.size() iff acyclic).
+bool is_forest(size_t n, const EdgeList& edges) {
+  std::vector<Vertex> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  auto find = [&](Vertex x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : edges) {
+    Vertex a = find(e.u), b = find(e.v);
+    if (a == b) return false;
+    parent[a] = b;
+  }
+  return true;
+}
+
+bool is_spanning_tree(size_t n, const EdgeList& edges) {
+  return edges.size() == n - 1 && is_forest(n, edges);
+}
+
+TEST(Generators, PathIsTree) { EXPECT_TRUE(is_spanning_tree(1000, path(1000))); }
+
+TEST(Generators, PathDiameter) {
+  EXPECT_EQ(forest_diameter(100, path(100)), 99u);
+}
+
+TEST(Generators, BinaryIsTree) {
+  EXPECT_TRUE(is_spanning_tree(1023, perfect_binary(1023)));
+}
+
+TEST(Generators, KaryIsTree) {
+  EXPECT_TRUE(is_spanning_tree(4161, kary(4161, 64)));
+}
+
+TEST(Generators, StarIsTree) {
+  auto e = star(500);
+  EXPECT_TRUE(is_spanning_tree(500, e));
+  EXPECT_EQ(forest_diameter(500, e), 2u);
+}
+
+TEST(Generators, DandelionShape) {
+  auto e = dandelion(1001);
+  EXPECT_TRUE(is_spanning_tree(1001, e));
+  // Hub has (n-1)/2 leaves + 1 path edge.
+  size_t hub_degree = 0;
+  for (const Edge& ed : e)
+    if (ed.u == 0 || ed.v == 0) ++hub_degree;
+  EXPECT_EQ(hub_degree, 501u);
+}
+
+TEST(Generators, RandomDegree3RespectsBound) {
+  auto e = random_degree3(2000, 1);
+  EXPECT_TRUE(is_spanning_tree(2000, e));
+  std::vector<int> deg(2000, 0);
+  for (const Edge& ed : e) {
+    deg[ed.u]++;
+    deg[ed.v]++;
+  }
+  for (int d : deg) EXPECT_LE(d, 3);
+}
+
+TEST(Generators, RandomUnboundedIsTree) {
+  EXPECT_TRUE(is_spanning_tree(3000, random_unbounded(3000, 2)));
+}
+
+TEST(Generators, PrefAttachIsTree) {
+  EXPECT_TRUE(is_spanning_tree(3000, pref_attach(3000, 3)));
+}
+
+TEST(Generators, ZipfTreeIsTree) {
+  for (double alpha : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    EXPECT_TRUE(is_spanning_tree(2000, zipf_tree(2000, alpha, 4))) << alpha;
+  }
+}
+
+TEST(Generators, ZipfDiameterDecreasesWithAlpha) {
+  size_t n = 5000;
+  size_t d_low = forest_diameter(n, zipf_tree(n, 0.0, 9));
+  size_t d_high = forest_diameter(n, zipf_tree(n, 2.0, 9));
+  EXPECT_LT(d_high, d_low);
+}
+
+TEST(Generators, DeterministicForSeed) {
+  auto a = random_unbounded(1000, 77);
+  auto b = random_unbounded(1000, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+}
+
+TEST(Generators, GridGraphEdgeCount) {
+  auto e = grid_graph(10, 20);
+  // 10*19 horizontal + 9*20 vertical
+  EXPECT_EQ(e.size(), 10u * 19 + 9u * 20);
+}
+
+TEST(Generators, BfsForestSpansGrid) {
+  size_t n = 30 * 30;
+  auto g = grid_graph(30, 30);
+  auto f = bfs_forest(n, g, 5);
+  EXPECT_TRUE(is_spanning_tree(n, f));
+}
+
+TEST(Generators, RisForestSpansGrid) {
+  size_t n = 30 * 30;
+  auto g = grid_graph(30, 30);
+  auto f = ris_forest(n, g, 5);
+  EXPECT_TRUE(is_spanning_tree(n, f));
+}
+
+TEST(Generators, SocialGraphForestsSpan) {
+  size_t n = 2000;
+  auto g = social_graph(n, 4, 6);
+  EXPECT_TRUE(is_spanning_tree(n, bfs_forest(n, g, 7)));
+  EXPECT_TRUE(is_spanning_tree(n, ris_forest(n, g, 8)));
+}
+
+TEST(Generators, SyntheticSuiteComplete) {
+  auto suite = synthetic_suite(512, 1);
+  ASSERT_EQ(suite.size(), 8u);
+  for (const auto& input : suite) {
+    EXPECT_TRUE(is_spanning_tree(input.n, input.edges)) << input.name;
+  }
+}
+
+TEST(Generators, RealworldSuiteComplete) {
+  auto suite = realworld_suite(400, 1);
+  ASSERT_EQ(suite.size(), 6u);
+  for (const auto& input : suite) {
+    EXPECT_TRUE(is_forest(input.n, input.edges)) << input.name;
+    EXPECT_EQ(input.edges.size(), input.n - 1) << input.name;
+  }
+}
+
+TEST(Generators, RoadForestHasHigherDiameterThanSocial) {
+  auto suite = realworld_suite(900, 2);
+  size_t road = forest_diameter(suite[0].n, suite[0].edges);
+  size_t soc = forest_diameter(suite[2].n, suite[2].edges);
+  EXPECT_GT(road, soc);
+}
+
+}  // namespace
+}  // namespace ufo::gen

@@ -1,0 +1,186 @@
+// Parameterized structural-invariant sweeps (the paper's theorems, checked
+// empirically on every input family):
+//
+//   Theorem 4.1  UFO trees have height O(log n) and O(n) space
+//   Theorem 4.2  UFO trees have height <= ceil(D/2) (+ slack for
+//                incremental construction)
+//   Theorem 3.1  topology trees have height O(log n) and O(n) space
+//   Lemma B.24   updates leave a valid UFO tree (valid merges, maximality)
+//
+// Each case builds the input in random order, churns it (random cuts +
+// relinks), and tears it down in three different orders, checking the
+// invariants at every stage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "seq/ternarize.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  size_t n;
+  EdgeList edges;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (size_t n : {64u, 300u}) {
+    std::string tag = "_" + std::to_string(n);
+    cases.push_back({"path" + tag, n, gen::path(n)});
+    cases.push_back({"binary" + tag, n, gen::perfect_binary(n)});
+    cases.push_back({"kary8" + tag, n, gen::kary(n, 8)});
+    cases.push_back({"star" + tag, n, gen::star(n)});
+    cases.push_back({"dandelion" + tag, n, gen::dandelion(n)});
+    cases.push_back({"random3" + tag, n, gen::random_degree3(n, n)});
+    cases.push_back({"random" + tag, n, gen::random_unbounded(n, n + 1)});
+    cases.push_back({"pattach" + tag, n, gen::pref_attach(n, n + 2)});
+    cases.push_back({"zipf1" + tag, n, gen::zipf_tree(n, 1.0, n + 3)});
+    cases.push_back({"zipf2" + tag, n, gen::zipf_tree(n, 2.0, n + 4)});
+  }
+  return cases;
+}
+
+// Height bound from Theorems 4.1/4.2 with slack: incremental construction
+// does not rebuild the contraction from scratch, so the height can exceed
+// the from-scratch bound by a constant factor; 2x the log bound and D/2 + 4
+// absolute slack cover every input family we generate.
+void expect_ufo_height_bounds(const UfoTree& t, const SweepCase& sc,
+                              size_t diameter, const char* stage) {
+  double log_bound = std::log(static_cast<double>(std::max<size_t>(sc.n, 2))) /
+                     std::log(6.0 / 5.0);
+  size_t h = t.height(0);
+  EXPECT_LE(h, static_cast<size_t>(2.0 * log_bound) + 4)
+      << sc.name << " " << stage << ": height vs log bound";
+  EXPECT_LE(h, diameter / 2 + 4)
+      << sc.name << " " << stage << ": height vs ceil(D/2) bound (D="
+      << diameter << ")";
+}
+
+class UfoInvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(UfoInvariantSweep, BuildChurnTeardown) {
+  const SweepCase& sc = GetParam();
+  UfoTree t(sc.n);
+  EdgeList order = sc.edges;
+  util::shuffle(order, 1);
+  for (const Edge& e : order) t.link(e.u, e.v, e.w);
+  ASSERT_TRUE(t.check_valid()) << sc.name << " after build";
+
+  size_t diameter = gen::forest_diameter(sc.n, sc.edges);
+  expect_ufo_height_bounds(t, sc, diameter, "after build");
+
+  // Space: Theorem 4.1 says O(n) clusters; generously, < 2 KiB/vertex.
+  EXPECT_LE(t.memory_bytes(), sc.n * 2048 + (1u << 16))
+      << sc.name << ": memory";
+
+  // Churn: cut a third of the edges, check, then relink them.
+  EdgeList removed(order.begin(), order.begin() + order.size() / 3);
+  for (const Edge& e : removed) t.cut(e.u, e.v);
+  ASSERT_TRUE(t.check_valid()) << sc.name << " after churn cuts";
+  for (const Edge& e : removed) t.link(e.u, e.v, e.w);
+  ASSERT_TRUE(t.check_valid()) << sc.name << " after churn relinks";
+  expect_ufo_height_bounds(t, sc, diameter, "after churn");
+
+  // Teardown in three different orders across three fresh builds.
+  for (int mode = 0; mode < 3; ++mode) {
+    EdgeList del = sc.edges;
+    if (mode == 0) util::shuffle(del, 7);                  // random
+    if (mode == 1) std::reverse(del.begin(), del.end());   // LIFO
+    /* mode 2: FIFO (generator order) */
+    for (const Edge& e : del) t.cut(e.u, e.v);
+    ASSERT_TRUE(t.check_valid()) << sc.name << " teardown mode " << mode;
+    for (Vertex v = 1; v < sc.n; ++v)
+      ASSERT_FALSE(t.connected(0, v)) << sc.name << " teardown mode " << mode;
+    if (mode < 2)
+      for (const Edge& e : sc.edges) t.link(e.u, e.v, e.w);
+  }
+}
+
+TEST_P(UfoInvariantSweep, AggregatesStayConsistentUnderChurn) {
+  const SweepCase& sc = GetParam();
+  if (sc.n > 128) GTEST_SKIP() << "aggregate audit is O(n) per step";
+  UfoTree t(sc.n);
+  util::SplitMix64 rng(3);
+  for (const Edge& e : sc.edges)
+    t.link(e.u, e.v, static_cast<Weight>(1 + rng.next(9)));
+  ASSERT_TRUE(t.check_aggregates()) << sc.name;
+  // Weight and mark updates must keep maintained aggregates exact.
+  for (int round = 0; round < 20; ++round) {
+    Vertex v = static_cast<Vertex>(rng.next(sc.n));
+    t.set_vertex_weight(v, static_cast<Weight>(rng.next(100)));
+    t.set_mark(static_cast<Vertex>(rng.next(sc.n)), rng.next(2) == 0);
+  }
+  ASSERT_TRUE(t.check_aggregates()) << sc.name << " after weight/mark churn";
+  EdgeList cuts(sc.edges.begin(), sc.edges.begin() + sc.edges.size() / 4);
+  for (const Edge& e : cuts) t.cut(e.u, e.v);
+  ASSERT_TRUE(t.check_aggregates()) << sc.name << " after cuts";
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, UfoInvariantSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+class TopologyInvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TopologyInvariantSweep, TernarizedBuildChurnTeardown) {
+  const SweepCase& sc = GetParam();
+  Ternarizer<TopologyTree> t(sc.n);
+  EdgeList order = sc.edges;
+  util::shuffle(order, 2);
+  for (const Edge& e : order) t.link(e.u, e.v, e.w);
+  ASSERT_TRUE(t.inner().check_valid()) << sc.name << " after build";
+
+  // Theorem 3.1 with ternarization: the underlying tree has <= 3n vertices.
+  double log_bound =
+      std::log(static_cast<double>(std::max<size_t>(3 * sc.n, 2))) /
+      std::log(6.0 / 5.0);
+  EXPECT_LE(t.inner().height(0), static_cast<size_t>(2.0 * log_bound) + 4)
+      << sc.name;
+  EXPECT_LE(t.memory_bytes(), sc.n * 4096 + (1u << 16)) << sc.name;
+
+  EdgeList removed(order.begin(), order.begin() + order.size() / 3);
+  for (const Edge& e : removed) t.cut(e.u, e.v);
+  ASSERT_TRUE(t.inner().check_valid()) << sc.name << " after cuts";
+  for (const Edge& e : removed) t.link(e.u, e.v, e.w);
+  ASSERT_TRUE(t.inner().check_valid()) << sc.name << " after relinks";
+
+  EdgeList del = sc.edges;
+  util::shuffle(del, 5);
+  for (const Edge& e : del) t.cut(e.u, e.v);
+  ASSERT_TRUE(t.inner().check_valid()) << sc.name << " after teardown";
+  for (Vertex v = 1; v < sc.n; ++v) ASSERT_FALSE(t.connected(0, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, TopologyInvariantSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// Theorem 4.2 from-scratch check: batch-building the whole tree in ONE
+// batch reproduces fresh contraction, where the ceil(D/2) bound is tight.
+class UfoBatchBuildHeight : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(UfoBatchBuildHeight, SingleBatchBuildRespectsDiameterBound) {
+  const SweepCase& sc = GetParam();
+  UfoTree t(sc.n);
+  t.batch_link(sc.edges);
+  ASSERT_TRUE(t.check_valid()) << sc.name;
+  size_t diameter = gen::forest_diameter(sc.n, sc.edges);
+  EXPECT_LE(t.height(0), diameter / 2 + 4) << sc.name << " D=" << diameter;
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, UfoBatchBuildHeight,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace ufo::seq

@@ -1,0 +1,119 @@
+// Differential tests for link-cut trees against the RefForest oracle.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/link_cut_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+TEST(LinkCutTree, BasicConnectivity) {
+  LinkCutTree t(6);
+  EXPECT_FALSE(t.connected(0, 1));
+  t.link(0, 1);
+  t.link(1, 2);
+  t.link(4, 5);
+  EXPECT_TRUE(t.connected(0, 2));
+  EXPECT_FALSE(t.connected(2, 4));
+  t.cut(0, 1);
+  EXPECT_FALSE(t.connected(0, 2));
+  EXPECT_TRUE(t.connected(1, 2));
+}
+
+TEST(LinkCutTree, PathAggregatesOnPathGraph) {
+  constexpr size_t n = 50;
+  LinkCutTree t(n);
+  for (Vertex v = 1; v < n; ++v) t.link(v - 1, v, static_cast<Weight>(v));
+  // path_sum(0, k) = 1 + 2 + ... + k
+  for (Vertex k = 1; k < n; ++k) {
+    EXPECT_EQ(t.path_sum(0, k), static_cast<Weight>(k) * (k + 1) / 2);
+    EXPECT_EQ(t.path_max(0, k), static_cast<Weight>(k));
+    EXPECT_EQ(t.path_length(0, k), k);
+  }
+  EXPECT_EQ(t.path_sum(10, 20), (20 * 21 - 10 * 11) / 2);
+}
+
+TEST(LinkCutTree, EvertChangesOrientationNotAnswers) {
+  LinkCutTree t(4);
+  t.link(0, 1, 5);
+  t.link(1, 2, 3);
+  t.link(2, 3, 9);
+  EXPECT_EQ(t.path_sum(3, 0), 17);
+  EXPECT_EQ(t.path_sum(0, 3), 17);
+  EXPECT_EQ(t.path_max(1, 3), 9);
+  EXPECT_EQ(t.path_max(0, 1), 5);
+}
+
+TEST(LinkCutTree, CutMiddleEdge) {
+  LinkCutTree t(5);
+  for (Vertex v = 1; v < 5; ++v) t.link(v - 1, v, 1);
+  t.cut(2, 3);
+  EXPECT_TRUE(t.connected(0, 2));
+  EXPECT_TRUE(t.connected(3, 4));
+  EXPECT_FALSE(t.connected(2, 3));
+  // Relink differently: 0-1-2 + 3-4 joined via 0-4.
+  t.link(0, 4, 2);
+  EXPECT_TRUE(t.connected(2, 3));
+  EXPECT_EQ(t.path_sum(2, 3), 1 + 1 + 2 + 1);
+}
+
+TEST(LinkCutTree, RandomizedDifferential) {
+  constexpr size_t n = 60;
+  constexpr int kSteps = 4000;
+  LinkCutTree t(n);
+  RefForest ref(n);
+  util::SplitMix64 rng(99);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (int step = 0; step < kSteps; ++step) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) continue;
+    int action = static_cast<int>(rng.next(4));
+    if (action == 0 && !ref.connected(u, v)) {
+      Weight w = static_cast<Weight>(rng.next(100));
+      t.link(u, v, w);
+      ref.link(u, v, w);
+      edges.push_back({u, v});
+    } else if (action == 1 && !edges.empty()) {
+      size_t idx = rng.next(edges.size());
+      auto [a, b] = edges[idx];
+      t.cut(a, b);
+      ref.cut(a, b);
+      edges[idx] = edges.back();
+      edges.pop_back();
+    } else if (action == 2) {
+      ASSERT_EQ(t.connected(u, v), ref.connected(u, v)) << "step " << step;
+    } else if (ref.connected(u, v) && u != v) {
+      ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v)) << "step " << step;
+      if (ref.path_length(u, v) > 0) {
+        ASSERT_EQ(t.path_max(u, v), ref.path_max(u, v)) << "step " << step;
+      }
+      ASSERT_EQ(t.path_length(u, v), ref.path_length(u, v));
+    }
+  }
+}
+
+TEST(LinkCutTree, BuildDestroyAllSyntheticInputs) {
+  for (const auto& input : gen::synthetic_suite(300, 5)) {
+    LinkCutTree t(input.n);
+    auto edges = input.edges;
+    util::shuffle(edges, 21);
+    for (const Edge& e : edges) t.link(e.u, e.v, e.w);
+    EXPECT_TRUE(t.connected(edges.front().u, edges.back().v)) << input.name;
+    util::shuffle(edges, 22);
+    for (const Edge& e : edges) t.cut(e.u, e.v);
+    EXPECT_FALSE(t.connected(edges.front().u, edges.front().v)) << input.name;
+  }
+}
+
+TEST(LinkCutTree, MemoryReported) {
+  LinkCutTree t(1000);
+  size_t before = t.memory_bytes();
+  for (Vertex v = 1; v < 1000; ++v) t.link(v - 1, v);
+  EXPECT_GT(t.memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace ufo::seq

@@ -1,0 +1,201 @@
+// Property sweeps for the parallel primitives, parameterized by size —
+// these are the substrate of the batch-update algorithms (Section 5), so
+// their contracts are checked at sizes from trivial to well past the
+// parallel grain, against sequential reference computations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "parallel/hash_table.h"
+#include "parallel/list_ranking.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "util/random.h"
+
+namespace ufo::par {
+namespace {
+
+class SizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SizeSweep, ScanMatchesSequential) {
+  size_t n = GetParam();
+  util::SplitMix64 rng(n);
+  std::vector<long long> v(n);
+  for (auto& x : v) x = static_cast<long long>(rng.next(1000)) - 500;
+  std::vector<long long> expect = v;
+  long long acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    long long x = expect[i];
+    expect[i] = acc;
+    acc += x;
+  }
+  std::vector<long long> got = v;
+  long long total = scan_exclusive(got);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(SizeSweep, ReduceMatchesAccumulate) {
+  size_t n = GetParam();
+  util::SplitMix64 rng(n + 1);
+  std::vector<long long> v(n);
+  for (auto& x : v) x = static_cast<long long>(rng.next(1 << 20));
+  long long expect = std::accumulate(v.begin(), v.end(), 0LL);
+  EXPECT_EQ(reduce(v, 0LL, [](long long a, long long b) { return a + b; }),
+            expect);
+  long long mx = v.empty() ? -1 : *std::max_element(v.begin(), v.end());
+  EXPECT_EQ(reduce(v, -1LL,
+                   [](long long a, long long b) { return a > b ? a : b; }),
+            mx);
+}
+
+TEST_P(SizeSweep, FilterKeepsOrderAndElements) {
+  size_t n = GetParam();
+  util::SplitMix64 rng(n + 2);
+  std::vector<uint32_t> v(n);
+  for (auto& x : v) x = static_cast<uint32_t>(rng.next(1000));
+  auto pred = [](uint32_t x) { return x % 3 == 0; };
+  std::vector<uint32_t> expect;
+  for (uint32_t x : v)
+    if (pred(x)) expect.push_back(x);
+  EXPECT_EQ(filter(v, pred), expect);
+}
+
+TEST_P(SizeSweep, SortIsSortedPermutation) {
+  size_t n = GetParam();
+  util::SplitMix64 rng(n + 3);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.next(97);  // many duplicates
+  std::vector<uint64_t> expect = v;
+  std::sort(expect.begin(), expect.end());
+  sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(SizeSweep, GroupByKeyPartitionsExactly) {
+  size_t n = GetParam();
+  util::SplitMix64 rng(n + 4);
+  std::vector<std::pair<uint32_t, uint32_t>> kv(n);
+  std::map<uint32_t, std::multiset<uint32_t>> expect;
+  for (size_t i = 0; i < n; ++i) {
+    kv[i] = {static_cast<uint32_t>(rng.next(n / 4 + 1)),
+             static_cast<uint32_t>(i)};
+    expect[kv[i].first].insert(kv[i].second);
+  }
+  auto groups = group_by_key(kv);
+  // Groups tile [0, n), keys within a group are uniform and distinct
+  // across groups, and each group's value multiset matches.
+  size_t covered = 0;
+  std::set<uint32_t> seen_keys;
+  for (auto [b, e] : groups) {
+    ASSERT_LT(b, e);
+    covered += e - b;
+    uint32_t key = kv[b].first;
+    ASSERT_TRUE(seen_keys.insert(key).second) << "key split across groups";
+    std::multiset<uint32_t> vals;
+    for (size_t i = b; i < e; ++i) {
+      ASSERT_EQ(kv[i].first, key);
+      vals.insert(kv[i].second);
+    }
+    ASSERT_EQ(vals, expect[key]);
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(seen_keys.size(), expect.size());
+}
+
+TEST_P(SizeSweep, ListRankOnPermutedChains) {
+  size_t n = GetParam();
+  if (n == 0) GTEST_SKIP();
+  // Build ~sqrt(n) chains over a random permutation of node ids.
+  util::SplitMix64 rng(n + 5);
+  std::vector<uint32_t> perm = util::random_permutation(n, n + 6);
+  std::vector<uint32_t> next(n, kListEnd);
+  std::vector<uint32_t> expect_rank(n, 0);
+  size_t chains = std::max<size_t>(1, n / 16);
+  size_t per = n / chains;
+  for (size_t c = 0; c < chains; ++c) {
+    size_t b = c * per;
+    size_t e = (c + 1 == chains) ? n : (c + 1) * per;
+    for (size_t i = b; i + 1 < e; ++i) next[perm[i]] = perm[i + 1];
+    for (size_t i = b; i < e; ++i)
+      expect_rank[perm[i]] = static_cast<uint32_t>(i - b);
+  }
+  EXPECT_EQ(list_rank(next), expect_rank);
+}
+
+TEST_P(SizeSweep, ChainMatchingIsMaximalMatching) {
+  size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  // One long chain: matching must pair rank-even nodes with successors.
+  std::vector<uint32_t> next(n, kListEnd);
+  for (size_t i = 0; i + 1 < n; ++i)
+    next[i] = static_cast<uint32_t>(i + 1);
+  auto match = chain_maximal_matching(next);
+  size_t pairs = 0;
+  std::vector<uint8_t> used(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (match[i] == kListEnd) continue;
+    ASSERT_EQ(match[i], next[i]) << "pairs must follow successor edges";
+    ASSERT_FALSE(used[i]) << i;
+    ASSERT_FALSE(used[match[i]]) << match[i];
+    used[i] = used[match[i]] = 1;
+    ++pairs;
+  }
+  EXPECT_EQ(pairs, n / 2) << "matching on a chain must take floor(n/2) pairs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(0, 1, 2, 3, 17, 100, 2047, 2048,
+                                           2049, 10000, 100000),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(ConcurrentSetProperty, RandomOpsMatchStdSet) {
+  // Phase-concurrent contract: capacity is managed by the caller via
+  // reserve() at phase boundaries (the batch-update algorithms do exactly
+  // this), so size the table for the key space and re-reserve
+  // periodically to flush tombstones.
+  ConcurrentSet table(2048);
+  std::set<uint64_t> ref;
+  util::SplitMix64 rng(77);
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = rng.next(500) + 1;  // small key space: heavy collisions
+    switch (rng.next(3)) {
+      case 0:
+        table.insert(key);
+        ref.insert(key);
+        break;
+      case 1:
+        table.erase(key);
+        ref.erase(key);
+        break;
+      default:
+        ASSERT_EQ(table.contains(key), ref.count(key) > 0) << "step " << step;
+    }
+    if (step % 4096 == 0) {
+      table.reserve(2048);  // phase boundary: rehash away tombstones
+      for (uint64_t k = 1; k <= 500; ++k)
+        ASSERT_EQ(table.contains(k), ref.count(k) > 0) << "audit " << step;
+    }
+  }
+  ASSERT_EQ(table.size(), ref.size());
+}
+
+TEST(SchedulerProperty, ParallelForWritesEveryIndexOnce) {
+  for (size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{10007}}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(0, n, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace ufo::par

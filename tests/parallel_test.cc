@@ -1,0 +1,228 @@
+// Tests for the fork-join runtime and parallel primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/hash_table.h"
+#include "parallel/list_ranking.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "util/random.h"
+
+namespace ufo::par {
+namespace {
+
+TEST(Scheduler, NumWorkersPositive) { EXPECT_GE(num_workers(), 1); }
+
+TEST(Scheduler, ParallelForCoversRange) {
+  constexpr size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Scheduler, ParallelForEmptyAndSingle) {
+  int count = 0;
+  parallel_for(5, 5, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](size_t i) { EXPECT_EQ(i, 7u); ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, ParDoRunsBoth) {
+  std::atomic<int> a{0}, b{0};
+  par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+}
+
+TEST(Scheduler, NestedParDo) {
+  std::atomic<int> total{0};
+  par_do(
+      [&] {
+        par_do([&] { total += 1; }, [&] { total += 2; });
+      },
+      [&] {
+        par_do([&] { total += 4; }, [&] { total += 8; });
+      });
+  EXPECT_EQ(total.load(), 15);
+}
+
+TEST(Scheduler, NestedParallelFor) {
+  constexpr size_t n = 64;
+  std::vector<std::atomic<int>> hits(n * n);
+  parallel_for(0, n, [&](size_t i) {
+    parallel_for(0, n, [&](size_t j) { hits[i * n + j].fetch_add(1); });
+  });
+  for (size_t i = 0; i < n * n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Primitives, Reduce) {
+  std::vector<int64_t> v(10000);
+  std::iota(v.begin(), v.end(), 1);
+  int64_t total = reduce(v, int64_t{0}, [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(total, 10000LL * 10001 / 2);
+}
+
+TEST(Primitives, ReduceEmpty) {
+  std::vector<int64_t> v;
+  EXPECT_EQ(reduce(v, int64_t{7}, [](int64_t a, int64_t b) { return a + b; }), 7);
+}
+
+TEST(Primitives, ScanExclusive) {
+  std::vector<int64_t> v(9999, 1);
+  int64_t total = scan_exclusive(v);
+  EXPECT_EQ(total, 9999);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], (int64_t)i);
+}
+
+TEST(Primitives, ScanSmall) {
+  std::vector<int64_t> v{3, 1, 4, 1, 5};
+  int64_t total = scan_exclusive(v);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Primitives, Filter) {
+  std::vector<int> v(10000);
+  std::iota(v.begin(), v.end(), 0);
+  auto evens = filter(v, [](int x) { return x % 2 == 0; });
+  ASSERT_EQ(evens.size(), 5000u);
+  for (size_t i = 0; i < evens.size(); ++i) EXPECT_EQ(evens[i], (int)(2 * i));
+}
+
+TEST(Primitives, SortRandom) {
+  util::SplitMix64 rng(42);
+  std::vector<uint64_t> v(50000);
+  for (auto& x : v) x = rng.next();
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sort(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Primitives, RemoveDuplicates) {
+  std::vector<uint64_t> v{5, 3, 5, 5, 1, 3, 9};
+  remove_duplicates(v);
+  EXPECT_EQ(v, (std::vector<uint64_t>{1, 3, 5, 9}));
+}
+
+TEST(Primitives, GroupByKey) {
+  std::vector<std::pair<uint32_t, uint32_t>> kv{
+      {2, 0}, {1, 1}, {2, 2}, {3, 3}, {1, 4}, {2, 5}};
+  auto groups = group_by_key(kv);
+  ASSERT_EQ(groups.size(), 3u);
+  // keys sorted: 1 (2 entries), 2 (3 entries), 3 (1 entry)
+  EXPECT_EQ(groups[0].second - groups[0].first, 2u);
+  EXPECT_EQ(groups[1].second - groups[1].first, 3u);
+  EXPECT_EQ(groups[2].second - groups[2].first, 1u);
+  EXPECT_EQ(kv[groups[2].first].first, 3u);
+}
+
+TEST(HashTable, InsertContainsErase) {
+  ConcurrentSet set(100);
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_FALSE(set.contains(43));
+  EXPECT_TRUE(set.erase(42));
+  EXPECT_FALSE(set.erase(42));
+  EXPECT_FALSE(set.contains(42));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(HashTable, ConcurrentInserts) {
+  constexpr size_t n = 20000;
+  ConcurrentSet set(n);
+  parallel_for(0, n, [&](size_t i) { set.insert(i); });
+  EXPECT_EQ(set.size(), n);
+  parallel_for(0, n, [&](size_t i) { EXPECT_TRUE(set.contains(i)); });
+  auto elems = set.elements();
+  EXPECT_EQ(elems.size(), n);
+}
+
+TEST(HashTable, ReserveRehashesAndDropsTombstones) {
+  ConcurrentSet set(8);
+  for (uint64_t i = 0; i < 8; ++i) set.insert(i);
+  for (uint64_t i = 0; i < 4; ++i) set.erase(i);
+  set.reserve(1000);
+  EXPECT_EQ(set.size(), 4u);
+  for (uint64_t i = 4; i < 8; ++i) EXPECT_TRUE(set.contains(i));
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_FALSE(set.contains(i));
+}
+
+TEST(ListRanking, SingleChain) {
+  // Chain 3 -> 0 -> 2 -> 1 (head 3, tail 1).
+  std::vector<uint32_t> next{2, kListEnd, 1, 0};
+  auto rank = list_rank(next);
+  EXPECT_EQ(rank[3], 0u);
+  EXPECT_EQ(rank[0], 1u);
+  EXPECT_EQ(rank[2], 2u);
+  EXPECT_EQ(rank[1], 3u);
+}
+
+TEST(ListRanking, ManyChains) {
+  // 1000 chains of varying lengths laid out contiguously.
+  std::vector<uint32_t> next;
+  std::vector<uint32_t> expected;
+  util::SplitMix64 rng(7);
+  for (int c = 0; c < 1000; ++c) {
+    size_t len = 1 + rng.next(20);
+    size_t base = next.size();
+    for (size_t i = 0; i < len; ++i) {
+      next.push_back(i + 1 < len ? static_cast<uint32_t>(base + i + 1)
+                                 : kListEnd);
+      expected.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  auto rank = list_rank(next);
+  EXPECT_EQ(rank, expected);
+}
+
+TEST(ListRanking, ChainMatchingIsMaximal) {
+  // A chain of length 10: matching must pair (0,1),(2,3),...
+  std::vector<uint32_t> next(10);
+  for (size_t i = 0; i < 10; ++i)
+    next[i] = i + 1 < 10 ? static_cast<uint32_t>(i + 1) : kListEnd;
+  auto match = chain_maximal_matching(next);
+  int pairs = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    if (match[i] != kListEnd) {
+      EXPECT_EQ(match[i], i + 1);
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(pairs, 5);
+}
+
+TEST(ListRanking, MatchingNoOverlap) {
+  util::SplitMix64 rng(11);
+  std::vector<uint32_t> next;
+  for (int c = 0; c < 200; ++c) {
+    size_t len = 1 + rng.next(15);
+    size_t base = next.size();
+    for (size_t i = 0; i < len; ++i)
+      next.push_back(i + 1 < len ? static_cast<uint32_t>(base + i + 1)
+                                 : kListEnd);
+  }
+  auto match = chain_maximal_matching(next);
+  std::vector<int> used(next.size(), 0);
+  for (size_t i = 0; i < next.size(); ++i) {
+    if (match[i] != kListEnd) {
+      used[i]++;
+      used[match[i]]++;
+    }
+  }
+  for (size_t i = 0; i < next.size(); ++i) EXPECT_LE(used[i], 1) << i;
+  // Maximality: no two adjacent unmatched nodes.
+  for (size_t i = 0; i < next.size(); ++i) {
+    if (next[i] == kListEnd) continue;
+    bool i_matched = used[i] > 0;
+    bool j_matched = used[next[i]] > 0;
+    EXPECT_TRUE(i_matched || j_matched) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ufo::par

@@ -1,0 +1,124 @@
+// Parameterized property tests: every (input family x seed) combination
+// must satisfy the structural theorems of the paper — height bounds
+// (Theorems 3.1/4.1/4.2), validity of every merge after arbitrary update
+// orders, and agreement of all structures on connectivity and path sums.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/link_cut_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo {
+namespace {
+
+struct Family {
+  std::string name;
+  EdgeList (*make)(size_t, uint64_t);
+};
+
+EdgeList make_path(size_t n, uint64_t) { return gen::path(n); }
+EdgeList make_binary(size_t n, uint64_t) { return gen::perfect_binary(n); }
+EdgeList make_kary(size_t n, uint64_t) { return gen::kary(n, 16); }
+EdgeList make_star(size_t n, uint64_t) { return gen::star(n); }
+EdgeList make_dand(size_t n, uint64_t) { return gen::dandelion(n); }
+EdgeList make_rand3(size_t n, uint64_t s) { return gen::random_degree3(n, s); }
+EdgeList make_rand(size_t n, uint64_t s) { return gen::random_unbounded(n, s); }
+EdgeList make_pa(size_t n, uint64_t s) { return gen::pref_attach(n, s); }
+EdgeList make_zipf(size_t n, uint64_t s) { return gen::zipf_tree(n, 1.5, s); }
+
+class UfoFamilyTest
+    : public ::testing::TestWithParam<std::tuple<Family, uint64_t>> {};
+
+TEST_P(UfoFamilyTest, BuildHeightQueriesDestroy) {
+  auto [family, seed] = GetParam();
+  constexpr size_t n = 700;
+  EdgeList edges = family.make(n, seed);
+  ASSERT_EQ(edges.size(), n - 1);
+
+  seq::UfoTree t(n);
+  RefForest ref(n);
+  EdgeList shuffled = edges;
+  util::shuffle(shuffled, seed + 1);
+  for (const Edge& e : shuffled) {
+    t.link(e.u, e.v, e.w);
+    ref.link(e.u, e.v, e.w);
+  }
+  ASSERT_TRUE(t.check_valid()) << family.name;
+
+  // Theorem 4.1/4.2: height <= min{log_{6/5} n, ceil(D/2)} (+slack for the
+  // incremental build; we allow 2x the log bound and D/2 + log slack).
+  size_t d = gen::forest_diameter(n, edges);
+  double log_bound = 2.0 * std::log(double(n)) / std::log(6.0 / 5.0);
+  double diam_bound = d / 2.0 + 2.0 * std::log2(double(n));
+  size_t h = t.height(0);
+  EXPECT_LE(static_cast<double>(h), std::max(8.0, std::min(log_bound, diam_bound)))
+      << family.name << " D=" << d;
+
+  // Spot-check queries against the oracle.
+  util::SplitMix64 rng(seed + 2);
+  for (int i = 0; i < 60; ++i) {
+    Vertex a = static_cast<Vertex>(rng.next(n));
+    Vertex b = static_cast<Vertex>(rng.next(n));
+    ASSERT_EQ(t.connected(a, b), ref.connected(a, b));
+    if (a != b) {
+      ASSERT_EQ(t.path_sum(a, b), ref.path_sum(a, b)) << family.name;
+      ASSERT_EQ(t.path_length(a, b),
+                static_cast<int64_t>(ref.path_length(a, b)));
+    }
+  }
+  EXPECT_EQ(t.component_diameter(0), static_cast<int64_t>(d)) << family.name;
+
+  // Destroy in a different random order; invariants must hold throughout.
+  util::shuffle(shuffled, seed + 3);
+  size_t step = 0;
+  for (const Edge& e : shuffled) {
+    t.cut(e.u, e.v);
+    if (++step % 100 == 0) ASSERT_TRUE(t.check_valid()) << family.name;
+  }
+  for (Vertex v = 1; v < n; ++v) ASSERT_FALSE(t.connected(0, v));
+}
+
+TEST_P(UfoFamilyTest, AgreesWithLinkCutOnPaths) {
+  auto [family, seed] = GetParam();
+  constexpr size_t n = 400;
+  EdgeList edges = family.make(n, seed);
+  util::SplitMix64 rng(seed);
+  for (Edge& e : edges) e.w = 1 + static_cast<Weight>(rng.next(1000));
+  seq::UfoTree ufo(n);
+  seq::LinkCutTree lct(n);
+  for (const Edge& e : edges) {
+    ufo.link(e.u, e.v, e.w);
+    lct.link(e.u, e.v, e.w);
+  }
+  for (int i = 0; i < 150; ++i) {
+    Vertex a = static_cast<Vertex>(rng.next(n));
+    Vertex b = static_cast<Vertex>(rng.next(n));
+    if (a == b) continue;
+    ASSERT_EQ(ufo.path_sum(a, b), lct.path_sum(a, b)) << family.name;
+    ASSERT_EQ(ufo.path_max(a, b), lct.path_max(a, b)) << family.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, UfoFamilyTest,
+    ::testing::Combine(
+        ::testing::Values(Family{"path", make_path}, Family{"binary", make_binary},
+                          Family{"16ary", make_kary}, Family{"star", make_star},
+                          Family{"dandelion", make_dand},
+                          Family{"random3", make_rand3},
+                          Family{"random", make_rand},
+                          Family{"prefattach", make_pa},
+                          Family{"zipf15", make_zipf}),
+        ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<std::tuple<Family, uint64_t>>& info) {
+      return std::get<0>(info.param).name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ufo

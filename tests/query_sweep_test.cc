@@ -1,0 +1,172 @@
+// Full-query-suite differential sweep over the Zipf diameter family — the
+// exact workload of the Fig. 6 experiments — plus interleaved churn. Every
+// query UFO trees claim in Table 1 is checked against the oracle at every
+// alpha (high diameter at alpha = 0 down to near-star at alpha = 2+), so
+// the correctness of the benchmarked configurations is itself under test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/ternarize.h"
+#include "seq/topology_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+struct AlphaCase {
+  std::string name;
+  double alpha;
+};
+
+std::vector<AlphaCase> alpha_cases() {
+  std::vector<AlphaCase> cases;
+  for (double a : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0})
+    cases.push_back({"alpha" + std::to_string(static_cast<int>(a * 10)), a});
+  return cases;
+}
+
+class UfoZipfQuerySweep : public ::testing::TestWithParam<AlphaCase> {};
+
+TEST_P(UfoZipfQuerySweep, AllQueriesMatchOracleUnderChurn) {
+  constexpr size_t n = 140;
+  const AlphaCase& ac = GetParam();
+  EdgeList edges = gen::zipf_tree(n, ac.alpha, 1717);
+  UfoTree t(n);
+  RefForest ref(n);
+  util::SplitMix64 rng(55);
+  for (const Edge& e : edges) {
+    Weight w = static_cast<Weight>(1 + rng.next(40));
+    t.link(e.u, e.v, w);
+    ref.link(e.u, e.v, w);
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    Weight w = static_cast<Weight>(1 + rng.next(9));
+    t.set_vertex_weight(v, w);
+    ref.set_vertex_weight(v, w);
+  }
+  for (Vertex m : {Vertex(2), Vertex(77), Vertex(131)}) {
+    t.set_mark(m, true);
+    ref.set_mark(m, true);
+  }
+
+  auto ecc = [&](Vertex x) {
+    int64_t best = 0;
+    for (Vertex y : ref.component(x))
+      best = std::max<int64_t>(best, ref.path_length(x, y));
+    return best;
+  };
+  auto median_cost = [&](Vertex x) {
+    int64_t total = 0;
+    for (Vertex y : ref.component(x))
+      total += ref.vertex_weight(y) * ref.path_length(x, y);
+    return total;
+  };
+
+  auto audit = [&](const char* stage) {
+    ASSERT_TRUE(t.check_valid()) << ac.name << " " << stage;
+    for (int q = 0; q < 60; ++q) {
+      Vertex u = static_cast<Vertex>(rng.next(n));
+      Vertex v = static_cast<Vertex>(rng.next(n));
+      ASSERT_EQ(t.connected(u, v), ref.connected(u, v)) << stage;
+      if (u == v || !ref.connected(u, v)) continue;
+      ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v)) << stage;
+      ASSERT_EQ(t.path_max(u, v), ref.path_max(u, v)) << stage;
+      ASSERT_EQ(t.path_length(u, v),
+                static_cast<int64_t>(ref.path_length(u, v)))
+          << stage;
+    }
+    // Subtree + LCA against random live edges / triples.
+    for (int q = 0; q < 25; ++q) {
+      Vertex u = static_cast<Vertex>(rng.next(n));
+      if (ref.degree(u) == 0) continue;
+      Vertex p = ref.component(u)[1 % ref.component(u).size()];
+      if (!ref.has_edge(u, p)) continue;
+      ASSERT_EQ(t.subtree_sum(u, p), ref.subtree_sum(u, p)) << stage;
+      ASSERT_EQ(t.subtree_size(u, p), ref.subtree_size(u, p)) << stage;
+    }
+    for (int q = 0; q < 25; ++q) {
+      Vertex u = static_cast<Vertex>(rng.next(n));
+      Vertex v = static_cast<Vertex>(rng.next(n));
+      Vertex r = static_cast<Vertex>(rng.next(n));
+      if (u == v || v == r || u == r) continue;
+      if (!ref.connected(u, v) || !ref.connected(v, r)) continue;
+      ASSERT_EQ(t.lca(u, v, r), ref.lca(u, v, r)) << stage;
+    }
+    // Non-local queries (tie-insensitive comparisons).
+    Vertex probe = static_cast<Vertex>(rng.next(n));
+    ASSERT_EQ(t.component_diameter(probe),
+              static_cast<int64_t>(ref.component_diameter(probe)))
+        << stage;
+    ASSERT_EQ(ecc(t.component_center(probe)), ecc(ref.component_center(probe)))
+        << stage;
+    ASSERT_EQ(median_cost(t.component_median(probe)),
+              median_cost(ref.component_median(probe)))
+        << stage;
+    for (int q = 0; q < 25; ++q) {
+      Vertex v = static_cast<Vertex>(rng.next(n));
+      ASSERT_EQ(t.nearest_marked_distance(v), ref.nearest_marked_distance(v))
+          << stage;
+    }
+  };
+
+  audit("full tree");
+
+  // Churn: cut a quarter of the edges (splitting the tree), re-audit,
+  // relink, re-audit.
+  EdgeList removed(edges.begin(), edges.begin() + edges.size() / 4);
+  for (const Edge& e : removed) {
+    t.cut(e.u, e.v);
+    ref.cut(e.u, e.v);
+  }
+  audit("after cuts");
+  for (const Edge& e : removed) {
+    Weight w = static_cast<Weight>(1 + rng.next(40));
+    t.link(e.u, e.v, w);
+    ref.link(e.u, e.v, w);
+  }
+  audit("after relinks");
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, UfoZipfQuerySweep,
+                         ::testing::ValuesIn(alpha_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+class TopologyZipfQuerySweep : public ::testing::TestWithParam<AlphaCase> {};
+
+TEST_P(TopologyZipfQuerySweep, PathAndSubtreeMatchOracleTernarized) {
+  constexpr size_t n = 140;
+  const AlphaCase& ac = GetParam();
+  EdgeList edges = gen::zipf_tree(n, ac.alpha, 2121);
+  Ternarizer<TopologyTree> t(n);
+  RefForest ref(n);
+  util::SplitMix64 rng(66);
+  for (const Edge& e : edges) {
+    Weight w = static_cast<Weight>(1 + rng.next(40));
+    t.link(e.u, e.v, w);
+    ref.link(e.u, e.v, w);
+  }
+  for (int q = 0; q < 120; ++q) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) continue;
+    ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v)) << ac.name;
+    ASSERT_EQ(t.path_max(u, v), ref.path_max(u, v)) << ac.name;
+  }
+  for (const Edge& e : edges) {
+    ASSERT_EQ(t.subtree_sum(e.u, e.v), ref.subtree_sum(e.u, e.v)) << ac.name;
+    ASSERT_EQ(t.subtree_sum(e.v, e.u), ref.subtree_sum(e.v, e.u)) << ac.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, TopologyZipfQuerySweep,
+                         ::testing::ValuesIn(alpha_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace ufo::seq

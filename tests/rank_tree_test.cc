@@ -1,0 +1,96 @@
+// Rank tree tests: aggregate correctness under churn and the weight-biased
+// depth guarantee (leaf depth O(log(W/w))).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "seq/rank_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+TEST(RankTree, InsertEraseAggregates) {
+  RankTree t;
+  t.insert(1, 4, 10);
+  t.insert(2, 2, 50);
+  t.insert(3, 8, 30);
+  EXPECT_EQ(t.max_value(), 50);
+  EXPECT_EQ(t.sum_value(), 90);
+  EXPECT_EQ(t.total_weight(), 14u);
+  t.erase(2);
+  EXPECT_EQ(t.max_value(), 30);
+  EXPECT_EQ(t.sum_value(), 40);
+  EXPECT_EQ(t.total_weight(), 12u);
+  t.erase(1);
+  t.erase(3);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RankTree, RandomChurnDifferential) {
+  RankTree t;
+  std::map<uint64_t, std::pair<uint64_t, Weight>> ref;
+  util::SplitMix64 rng(3);
+  uint64_t next_id = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (ref.empty() || rng.next(3) != 0) {
+      uint64_t w = 1 + rng.next(1000);
+      Weight v = static_cast<Weight>(rng.next(10000)) - 5000;
+      t.insert(next_id, w, v);
+      ref[next_id] = {w, v};
+      ++next_id;
+    } else {
+      auto it = ref.begin();
+      std::advance(it, rng.next(ref.size()));
+      t.erase(it->first);
+      ref.erase(it);
+    }
+    if (step % 50 != 0 || ref.empty()) continue;
+    Weight mx = INT64_MIN;
+    Weight sum = 0;
+    uint64_t wt = 0;
+    for (auto& [id, wv] : ref) {
+      mx = std::max(mx, wv.second);
+      sum += wv.second;
+      wt += wv.first;
+    }
+    ASSERT_EQ(t.max_value(), mx) << step;
+    ASSERT_EQ(t.sum_value(), sum) << step;
+    ASSERT_EQ(t.total_weight(), wt) << step;
+  }
+}
+
+TEST(RankTree, WeightBiasedDepth) {
+  RankTree t;
+  // One heavy item and many light ones: the heavy leaf must sit near the
+  // top (depth O(log(W/w)) with w ~ W/2 => O(1 + log #merges)).
+  t.insert(0, 1 << 20, 1);
+  for (uint64_t i = 1; i <= 256; ++i) t.insert(i, 1, 1);
+  // Heavy leaf: rank 20, total ~2^20 + 256 => depth <= ~9.
+  EXPECT_LE(t.depth(0), 9u);
+  // A light leaf may be deep, but no deeper than ~log2(W) - 0 + slack.
+  size_t worst = 0;
+  for (uint64_t i = 1; i <= 256; ++i) worst = std::max(worst, t.depth(i));
+  EXPECT_LE(worst, 24u);
+}
+
+TEST(RankTree, DepthBoundStatistical) {
+  RankTree t;
+  util::SplitMix64 rng(9);
+  std::vector<std::pair<uint64_t, uint64_t>> items;  // id, weight
+  for (uint64_t i = 0; i < 2000; ++i) {
+    uint64_t w = 1ull << rng.next(12);
+    t.insert(i, w, 1);
+    items.push_back({i, w});
+  }
+  uint64_t total = t.total_weight();
+  for (auto [id, w] : items) {
+    double bound = std::log2(static_cast<double>(total) / w) + 14;
+    EXPECT_LE(static_cast<double>(t.depth(id)), bound) << id;
+  }
+}
+
+}  // namespace
+}  // namespace ufo::seq

@@ -1,0 +1,102 @@
+// Sanity tests for the RefForest oracle itself (the oracle must be right
+// before it can adjudicate the real structures).
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+
+namespace ufo {
+namespace {
+
+RefForest build(size_t n, const EdgeList& edges) {
+  RefForest f(n);
+  for (const Edge& e : edges) f.link(e.u, e.v, e.w);
+  return f;
+}
+
+TEST(RefForest, LinkCutConnectivity) {
+  RefForest f(5);
+  EXPECT_FALSE(f.connected(0, 1));
+  f.link(0, 1);
+  f.link(1, 2);
+  f.link(3, 4);
+  EXPECT_TRUE(f.connected(0, 2));
+  EXPECT_FALSE(f.connected(0, 3));
+  f.cut(1, 2);
+  EXPECT_FALSE(f.connected(0, 2));
+  EXPECT_TRUE(f.connected(0, 1));
+}
+
+TEST(RefForest, PathAggregates) {
+  RefForest f(4);
+  f.link(0, 1, 5);
+  f.link(1, 2, 3);
+  f.link(2, 3, 7);
+  EXPECT_EQ(f.path_sum(0, 3), 15);
+  EXPECT_EQ(f.path_max(0, 3), 7);
+  EXPECT_EQ(f.path_length(0, 3), 3u);
+  EXPECT_EQ(f.path_sum(1, 2), 3);
+  EXPECT_EQ(f.path_sum(2, 2), 0);
+}
+
+TEST(RefForest, SubtreeQueries) {
+  // Star with hub 0; leaves 1..4 with weights 10,20,30,40; hub weight 1.
+  RefForest f(5);
+  for (Vertex v = 1; v < 5; ++v) f.link(0, v);
+  f.set_vertex_weight(0, 1);
+  for (Vertex v = 1; v < 5; ++v) f.set_vertex_weight(v, 10 * v);
+  EXPECT_EQ(f.subtree_sum(1, 0), 10);
+  EXPECT_EQ(f.subtree_sum(0, 1), 1 + 20 + 30 + 40);
+  EXPECT_EQ(f.subtree_max(0, 1), 40);
+  EXPECT_EQ(f.subtree_size(0, 1), 4u);
+}
+
+TEST(RefForest, Lca) {
+  // Rooted at 0: 0-1, 0-2, 1-3, 1-4.
+  RefForest f(5);
+  f.link(0, 1);
+  f.link(0, 2);
+  f.link(1, 3);
+  f.link(1, 4);
+  EXPECT_EQ(f.lca(3, 4, 0), 1u);
+  EXPECT_EQ(f.lca(3, 2, 0), 0u);
+  EXPECT_EQ(f.lca(3, 1, 0), 1u);
+  // Re-rooting changes the answer: LCA(0,4) w.r.t. root 3 is 1.
+  EXPECT_EQ(f.lca(0, 4, 3), 1u);
+}
+
+TEST(RefForest, DiameterCenterMedian) {
+  // Path 0-1-2-3-4: diameter 4, center 2, median 2 (unit weights).
+  auto f = build(5, gen::path(5));
+  EXPECT_EQ(f.component_diameter(0), 4u);
+  EXPECT_EQ(f.component_center(3), 2u);
+  EXPECT_EQ(f.component_median(3), 2u);
+  // Weighted median shifts: heavy weight at 0 pulls the median to 0's side.
+  f.set_vertex_weight(0, 100);
+  EXPECT_LE(f.component_median(3), 1u);
+}
+
+TEST(RefForest, NearestMarked) {
+  auto f = build(6, gen::path(6));
+  EXPECT_EQ(f.nearest_marked_distance(3), -1);
+  f.set_mark(0, true);
+  EXPECT_EQ(f.nearest_marked_distance(3), 3);
+  f.set_mark(5, true);
+  EXPECT_EQ(f.nearest_marked_distance(3), 2);
+  EXPECT_EQ(f.nearest_marked_distance(0), 0);
+  f.set_mark(0, false);
+  EXPECT_EQ(f.nearest_marked_distance(0), 5);
+}
+
+TEST(RefForest, ComponentEnumeration) {
+  RefForest f(6);
+  f.link(0, 1);
+  f.link(1, 2);
+  f.link(4, 5);
+  EXPECT_EQ(f.component(0).size(), 3u);
+  EXPECT_EQ(f.component(3).size(), 1u);
+  EXPECT_EQ(f.component(5).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ufo

@@ -1,0 +1,235 @@
+// Tests for the splay top tree: unit tests on known shapes plus
+// differential tests against the RefForest oracle for every supported
+// query, including the subtree aggregates that distinguish top trees from
+// plain link-cut trees.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/splay_top_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+// Uniform integer in [lo, hi].
+uint64_t rnd(util::SplitMix64& g, uint64_t lo, uint64_t hi) {
+  return lo + g.next(hi - lo + 1);
+}
+
+TEST(SplayTopTree, BasicConnectivity) {
+  SplayTopTree t(6);
+  EXPECT_FALSE(t.connected(0, 1));
+  t.link(0, 1);
+  t.link(1, 2);
+  t.link(4, 5);
+  EXPECT_TRUE(t.connected(0, 2));
+  EXPECT_FALSE(t.connected(2, 4));
+  t.cut(0, 1);
+  EXPECT_FALSE(t.connected(0, 2));
+  EXPECT_TRUE(t.connected(1, 2));
+}
+
+TEST(SplayTopTree, PathAggregatesOnPathGraph) {
+  constexpr size_t n = 60;
+  SplayTopTree t(n);
+  for (Vertex v = 1; v < n; ++v) t.link(v - 1, v, static_cast<Weight>(v));
+  for (Vertex k = 1; k < n; ++k) {
+    EXPECT_EQ(t.path_sum(0, k), static_cast<Weight>(k) * (k + 1) / 2);
+    EXPECT_EQ(t.path_max(0, k), static_cast<Weight>(k));
+    EXPECT_EQ(t.path_length(0, k), k);
+  }
+  EXPECT_EQ(t.path_sum(10, 20), (20 * 21 - 10 * 11) / 2);
+  EXPECT_EQ(t.path_max(25, 30), 30);
+}
+
+TEST(SplayTopTree, SubtreeSumOnStar) {
+  constexpr size_t n = 32;
+  SplayTopTree t(n);
+  for (Vertex v = 1; v < n; ++v) t.link(0, v);
+  for (Vertex v = 0; v < n; ++v) t.set_vertex_weight(v, Weight(v));
+  // Each leaf's subtree w.r.t. the hub is itself.
+  for (Vertex v = 1; v < n; ++v) {
+    EXPECT_EQ(t.subtree_sum(v, 0), Weight(v));
+    EXPECT_EQ(t.subtree_size(v, 0), 1u);
+  }
+  // The hub's subtree w.r.t. any leaf is everything else.
+  Weight all = Weight(n) * (n - 1) / 2;
+  for (Vertex v = 1; v < n; ++v) {
+    EXPECT_EQ(t.subtree_sum(0, v), all - Weight(v));
+    EXPECT_EQ(t.subtree_size(0, v), n - 1);
+  }
+}
+
+TEST(SplayTopTree, SubtreeSumOnBinaryTree) {
+  // Perfect binary tree on 15 vertices, vertex weights = 1.
+  SplayTopTree t(15);
+  RefForest ref(15);
+  for (Vertex v = 1; v < 15; ++v) {
+    t.link((v - 1) / 2, v);
+    ref.link((v - 1) / 2, v);
+  }
+  for (Vertex v = 0; v < 15; ++v) {
+    t.set_vertex_weight(v, 1);
+    ref.set_vertex_weight(v, 1);
+  }
+  for (Vertex v = 1; v < 15; ++v) {
+    Vertex p = (v - 1) / 2;
+    EXPECT_EQ(t.subtree_sum(v, p), ref.subtree_sum(v, p)) << "v=" << v;
+    EXPECT_EQ(t.subtree_size(v, p), ref.subtree_size(v, p)) << "v=" << v;
+  }
+  // Subtree w.r.t. a non-adjacent "parent" direction: rooted at leaf 14,
+  // the subtree of the root vertex 0 is everything on 0's far side.
+  EXPECT_EQ(t.subtree_size(0, 14), 8u);
+}
+
+TEST(SplayTopTree, EvertDoesNotChangeAnswers) {
+  SplayTopTree t(4);
+  t.link(0, 1, 5);
+  t.link(1, 2, 3);
+  t.link(2, 3, 9);
+  EXPECT_EQ(t.path_sum(3, 0), 17);
+  EXPECT_EQ(t.path_sum(0, 3), 17);
+  EXPECT_EQ(t.path_max(1, 3), 9);
+  EXPECT_EQ(t.path_max(0, 1), 5);
+}
+
+TEST(SplayTopTree, CutRelinkReusesEdgeNodes) {
+  SplayTopTree t(8);
+  size_t base = t.memory_bytes();
+  for (int round = 0; round < 50; ++round) {
+    for (Vertex v = 1; v < 8; ++v) t.link(v - 1, v, round + v);
+    for (Vertex v = 1; v < 8; ++v) t.cut(v - 1, v);
+  }
+  // Node pool must not grow without bound across link/cut cycles.
+  EXPECT_LE(t.memory_bytes(), base + 8 * 256);
+}
+
+// --- Differential stress against the oracle --------------------------------
+
+struct ShapeCase {
+  std::string name;
+  EdgeList edges;
+  size_t n;
+};
+
+std::vector<ShapeCase> shapes() {
+  std::vector<ShapeCase> cases;
+  cases.push_back({"path", gen::path(96), 96});
+  cases.push_back({"binary", gen::perfect_binary(95), 95});
+  cases.push_back({"star", gen::star(80), 80});
+  cases.push_back({"dandelion", gen::dandelion(81), 81});
+  cases.push_back({"random3", gen::random_degree3(90, 7), 90});
+  cases.push_back({"random", gen::random_unbounded(90, 11), 90});
+  cases.push_back({"pattach", gen::pref_attach(90, 13), 90});
+  return cases;
+}
+
+class SplayTopTreeShape : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(SplayTopTreeShape, MatchesOracleOnStaticTree) {
+  const ShapeCase& sc = GetParam();
+  SplayTopTree t(sc.n);
+  RefForest ref(sc.n);
+  util::SplitMix64 rng(42);
+  for (const Edge& e : sc.edges) {
+    Weight w = static_cast<Weight>(rnd(rng, 1, 100));
+    t.link(e.u, e.v, w);
+    ref.link(e.u, e.v, w);
+  }
+  for (Vertex v = 0; v < sc.n; ++v) {
+    Weight w = static_cast<Weight>(rnd(rng, 0, 50));
+    t.set_vertex_weight(v, w);
+    ref.set_vertex_weight(v, w);
+  }
+  for (int q = 0; q < 200; ++q) {
+    Vertex u = static_cast<Vertex>(rnd(rng, 0, sc.n - 1));
+    Vertex v = static_cast<Vertex>(rnd(rng, 0, sc.n - 1));
+    if (u == v) continue;
+    ASSERT_TRUE(t.connected(u, v));
+    EXPECT_EQ(t.path_sum(u, v), ref.path_sum(u, v)) << u << "," << v;
+    EXPECT_EQ(t.path_max(u, v), ref.path_max(u, v)) << u << "," << v;
+    EXPECT_EQ(t.path_length(u, v), ref.path_length(u, v)) << u << "," << v;
+  }
+  // Subtree queries w.r.t. each tree edge, both orientations.
+  for (const Edge& e : sc.edges) {
+    EXPECT_EQ(t.subtree_sum(e.u, e.v), ref.subtree_sum(e.u, e.v));
+    EXPECT_EQ(t.subtree_sum(e.v, e.u), ref.subtree_sum(e.v, e.u));
+    EXPECT_EQ(t.subtree_size(e.u, e.v), ref.subtree_size(e.u, e.v));
+    EXPECT_EQ(t.subtree_size(e.v, e.u), ref.subtree_size(e.v, e.u));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SplayTopTreeShape,
+                         ::testing::ValuesIn(shapes()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(SplayTopTree, RandomLinkCutQueryInterleaving) {
+  constexpr size_t n = 64;
+  SplayTopTree t(n);
+  RefForest ref(n);
+  util::SplitMix64 rng(1234);
+  std::vector<Edge> live;
+  for (int step = 0; step < 4000; ++step) {
+    int op = static_cast<int>(rnd(rng, 0, 9));
+    if (op < 4) {  // link a random non-connected pair
+      Vertex u = static_cast<Vertex>(rnd(rng, 0, n - 1));
+      Vertex v = static_cast<Vertex>(rnd(rng, 0, n - 1));
+      if (u != v && !ref.connected(u, v)) {
+        Weight w = static_cast<Weight>(rnd(rng, 1, 20));
+        t.link(u, v, w);
+        ref.link(u, v, w);
+        live.push_back({u, v, w});
+      }
+    } else if (op < 7 && !live.empty()) {  // cut a random live edge
+      size_t i = rnd(rng, 0, live.size() - 1);
+      Edge e = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      t.cut(e.u, e.v);
+      ref.cut(e.u, e.v);
+    } else {  // query
+      Vertex u = static_cast<Vertex>(rnd(rng, 0, n - 1));
+      Vertex v = static_cast<Vertex>(rnd(rng, 0, n - 1));
+      ASSERT_EQ(t.connected(u, v), ref.connected(u, v));
+      if (u != v && ref.connected(u, v)) {
+        ASSERT_EQ(t.path_sum(u, v), ref.path_sum(u, v));
+        ASSERT_EQ(t.path_max(u, v), ref.path_max(u, v));
+      }
+      if (!live.empty()) {
+        const Edge& e = live[rnd(rng, 0, live.size() - 1)];
+        ASSERT_EQ(t.subtree_sum(e.u, e.v), ref.subtree_sum(e.u, e.v));
+        ASSERT_EQ(t.subtree_size(e.v, e.u), ref.subtree_size(e.v, e.u));
+      }
+    }
+  }
+}
+
+TEST(SplayTopTree, VertexWeightUpdatesPropagate) {
+  SplayTopTree t(10);
+  RefForest ref(10);
+  util::SplitMix64 rng(5);
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < 10; ++v) {
+    Vertex p = static_cast<Vertex>(rnd(rng, 0, v - 1));
+    t.link(p, v);
+    ref.link(p, v);
+    edges.push_back({p, v, 1});
+  }
+  for (int round = 0; round < 30; ++round) {
+    Vertex v = static_cast<Vertex>(rnd(rng, 0, 9));
+    Weight w = static_cast<Weight>(rnd(rng, 0, 99));
+    t.set_vertex_weight(v, w);
+    ref.set_vertex_weight(v, w);
+    const Edge& e = edges[rnd(rng, 0, edges.size() - 1)];
+    EXPECT_EQ(t.subtree_sum(e.v, e.u), ref.subtree_sum(e.v, e.u))
+        << "edge (" << e.u << "," << e.v << ") after w(" << v << ")=" << w;
+    EXPECT_EQ(t.subtree_sum(e.u, e.v), ref.subtree_sum(e.u, e.v));
+  }
+}
+
+}  // namespace
+}  // namespace ufo::seq

@@ -1,0 +1,174 @@
+// Parameterized ternarization sweeps (Appendix A.1): across input
+// families, the ternarizer must (a) keep the underlying tree at degree
+// <= 3 at all times, (b) stay within the paper's size bound (at most 2n
+// vertices added, i.e. <= 3n - 2 slots), (c) amplify one original update
+// into a bounded number of underlying updates, and (d) preserve every
+// supported query through arbitrary churn.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/ref_forest.h"
+#include "seq/ternarize.h"
+#include "seq/topology_tree.h"
+#include "util/random.h"
+
+namespace ufo::seq {
+namespace {
+
+// Instrumented inner structure: counts link/cut calls the ternarizer makes
+// and forwards everything to a real topology tree.
+class CountingTopology {
+ public:
+  explicit CountingTopology(size_t n) : t_(n) {}
+  size_t size() const { return t_.size(); }
+
+  void link(Vertex u, Vertex v, Weight w = 1) {
+    ++links;
+    max_degree_seen = 0;  // recomputed lazily by the test via degree probes
+    t_.link(u, v, w);
+  }
+  void cut(Vertex u, Vertex v) {
+    ++cuts;
+    t_.cut(u, v);
+  }
+  bool connected(Vertex u, Vertex v) { return t_.connected(u, v); }
+  Weight path_sum(Vertex u, Vertex v) { return t_.path_sum(u, v); }
+  Weight path_max(Vertex u, Vertex v) { return t_.path_max(u, v); }
+  Weight subtree_sum(Vertex v, Vertex p) { return t_.subtree_sum(v, p); }
+  void set_vertex_weight(Vertex v, Weight w) { t_.set_vertex_weight(v, w); }
+  size_t degree(Vertex v) const { return t_.degree(v); }
+  size_t memory_bytes() const { return t_.memory_bytes(); }
+  bool check_valid() const { return t_.check_valid(); }
+
+  size_t links = 0;
+  size_t cuts = 0;
+  size_t max_degree_seen = 0;
+
+ private:
+  TopologyTree t_;
+};
+
+struct TernCase {
+  std::string name;
+  size_t n;
+  EdgeList edges;
+};
+
+std::vector<TernCase> tern_cases() {
+  constexpr size_t n = 150;
+  return {
+      {"path", n, gen::path(n)},
+      {"star", n, gen::star(n)},
+      {"kary16", n, gen::kary(n, 16)},
+      {"dandelion", n, gen::dandelion(n)},
+      {"random", n, gen::random_unbounded(n, 3)},
+      {"pattach", n, gen::pref_attach(n, 5)},
+      {"zipf2", n, gen::zipf_tree(n, 2.0, 7)},
+  };
+}
+
+class TernarizerSweep : public ::testing::TestWithParam<TernCase> {};
+
+TEST_P(TernarizerSweep, DegreeBoundHeldThroughChurn) {
+  const TernCase& tc = GetParam();
+  Ternarizer<CountingTopology> t(tc.n);
+  EdgeList order = tc.edges;
+  util::shuffle(order, 1);
+  auto assert_degrees = [&](const char* stage) {
+    // Every slot of the underlying structure must have degree <= 3, and
+    // original head slots degree <= 2 (one real edge + one chain edge).
+    for (Vertex v = 0;
+         v < Ternarizer<CountingTopology>::slot_capacity(tc.n); ++v)
+      ASSERT_LE(t.inner().degree(v), 3u) << tc.name << " " << stage;
+  };
+  for (const Edge& e : order) t.link(e.u, e.v, e.w);
+  assert_degrees("built");
+  ASSERT_TRUE(t.inner().check_valid());
+  EdgeList removed(order.begin(), order.begin() + order.size() / 2);
+  for (const Edge& e : removed) t.cut(e.u, e.v);
+  assert_degrees("half-torn");
+  for (const Edge& e : removed) t.link(e.u, e.v, e.w);
+  assert_degrees("relinked");
+}
+
+TEST_P(TernarizerSweep, UpdateAmplificationIsBounded) {
+  const TernCase& tc = GetParam();
+  Ternarizer<CountingTopology> t(tc.n);
+  for (const Edge& e : tc.edges) t.link(e.u, e.v, e.w);
+  size_t base_links = t.inner().links, base_cuts = t.inner().cuts;
+  // Paper bound: one original update maps to at most 7 underlying
+  // updates; our chain scheme guarantees <= 4 (header comment). Check the
+  // worst case over individual updates on the densest vertices.
+  for (const Edge& e : tc.edges) {
+    size_t l0 = t.inner().links, c0 = t.inner().cuts;
+    t.cut(e.u, e.v);
+    EXPECT_LE((t.inner().links - l0) + (t.inner().cuts - c0), 7u)
+        << tc.name << " cut(" << e.u << "," << e.v << ")";
+    l0 = t.inner().links;
+    c0 = t.inner().cuts;
+    t.link(e.u, e.v, e.w);
+    EXPECT_LE((t.inner().links - l0) + (t.inner().cuts - c0), 7u)
+        << tc.name << " link(" << e.u << "," << e.v << ")";
+  }
+  // Amortized: the whole churn did O(1) underlying updates per original.
+  size_t total =
+      (t.inner().links - base_links) + (t.inner().cuts - base_cuts);
+  EXPECT_LE(total, 8 * 2 * tc.edges.size()) << tc.name;
+}
+
+TEST_P(TernarizerSweep, SizeBoundMatchesAppendixA1) {
+  const TernCase& tc = GetParam();
+  // slot_capacity embodies the <= 2n extra vertices bound; verify the
+  // ternarizer never allocates past it even under slot-recycling churn.
+  Ternarizer<CountingTopology> t(tc.n);
+  for (int round = 0; round < 3; ++round) {
+    for (const Edge& e : tc.edges) t.link(e.u, e.v, e.w);
+    for (const Edge& e : tc.edges) t.cut(e.u, e.v);
+  }
+  for (const Edge& e : tc.edges) t.link(e.u, e.v, e.w);
+  SUCCEED();  // the Ternarizer asserts internally on slot exhaustion
+}
+
+TEST_P(TernarizerSweep, QueriesSurviveSlotRelocation) {
+  const TernCase& tc = GetParam();
+  Ternarizer<CountingTopology> t(tc.n);
+  RefForest ref(tc.n);
+  util::SplitMix64 rng(9);
+  for (const Edge& e : tc.edges) {
+    Weight w = static_cast<Weight>(1 + rng.next(30));
+    t.link(e.u, e.v, w);
+    ref.link(e.u, e.v, w);
+  }
+  // Cut edges of the highest-degree vertex one by one (each cut relocates
+  // a tail slot's real edge onto the head — the trickiest ternarizer
+  // path), re-checking queries after each.
+  Vertex hub = 0;
+  for (Vertex v = 1; v < tc.n; ++v)
+    if (ref.degree(v) > ref.degree(hub)) hub = v;
+  std::vector<Vertex> nbrs;
+  for (const Edge& e : tc.edges) {
+    if (e.u == hub) nbrs.push_back(e.v);
+    if (e.v == hub) nbrs.push_back(e.u);
+  }
+  for (Vertex nb : nbrs) {
+    t.cut(hub, nb);
+    ref.cut(hub, nb);
+    for (int q = 0; q < 20; ++q) {
+      Vertex a = static_cast<Vertex>(rng.next(tc.n));
+      Vertex b = static_cast<Vertex>(rng.next(tc.n));
+      ASSERT_EQ(t.connected(a, b), ref.connected(a, b)) << tc.name;
+      if (a != b && ref.connected(a, b))
+        ASSERT_EQ(t.path_sum(a, b), ref.path_sum(a, b)) << tc.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, TernarizerSweep,
+                         ::testing::ValuesIn(tern_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace ufo::seq
