@@ -1,0 +1,104 @@
+// Batch-size sweep for the general-graph connectivity subsystem (figure
+// style, cf. the Fig. 8 batched-update experiments): insert every edge of
+// the input graph in waves of k, then erase them all in waves of k, for
+// k = 1 (single-edge API) through 4096. Inputs are the two real-world
+// stand-ins: a grid (road-like, high diameter, ~half the edges become
+// non-tree) and a preferential-attachment social graph (low diameter).
+//
+//   ./bench_connectivity [--n=<vertices>] [--batch=<only this k>] [--quick]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "connectivity/connectivity.h"
+#include "graph/generators.h"
+#include "seq/ufo_tree.h"
+
+using namespace ufo;
+
+namespace {
+
+struct Input {
+  std::string name;
+  size_t n;
+  EdgeList edges;
+};
+
+// Insert all edges in waves of k, then erase them in waves of k (different
+// shuffle). k == 0 means the single-edge API (no batching layer at all).
+std::pair<double, double> sweep_once(const Input& in, size_t k,
+                                     uint64_t seed) {
+  EdgeList ins = in.edges;
+  EdgeList del = in.edges;
+  util::shuffle(ins, seed);
+  util::shuffle(del, seed + 1);
+  conn::GraphConnectivity<seq::UfoTree> g(in.n);
+  util::Timer timer;
+  if (k == 0) {
+    for (const Edge& e : ins) g.insert(e.u, e.v, e.w);
+  } else {
+    for (size_t i = 0; i < ins.size(); i += k) {
+      EdgeList batch(ins.begin() + i,
+                     ins.begin() + std::min(ins.size(), i + k));
+      g.batch_insert(batch);
+    }
+  }
+  double insert_s = timer.elapsed();
+  if (g.num_edges() != in.edges.size()) {
+    std::fprintf(stderr, "%s k=%zu: edge count mismatch (%zu vs %zu)\n",
+                 in.name.c_str(), k, g.num_edges(), in.edges.size());
+    std::exit(1);
+  }
+  timer.reset();
+  if (k == 0) {
+    for (const Edge& e : del) g.erase(e.u, e.v);
+  } else {
+    for (size_t i = 0; i < del.size(); i += k) {
+      EdgeList batch(del.begin() + i,
+                     del.begin() + std::min(del.size(), i + k));
+      g.batch_erase(batch);
+    }
+  }
+  double erase_s = timer.elapsed();
+  if (g.num_edges() != 0 || g.num_components() != in.n) {
+    std::fprintf(stderr, "%s k=%zu: teardown incomplete\n", in.name.c_str(),
+                 k);
+    std::exit(1);
+  }
+  return {insert_s, erase_s};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse(argc, argv);
+  // Single-edge rows pay O(min split side) per tree-edge deletion, so the
+  // default stays moderate; use --n to sweep larger graphs (batched rows
+  // scale fine).
+  size_t n = opt.n ? opt.n : (opt.quick ? 1 << 10 : 1 << 12);
+
+  size_t side = 1;
+  while ((side + 1) * (side + 1) <= n) ++side;
+  std::vector<Input> inputs;
+  inputs.push_back({"grid", side * side, gen::grid_graph(side, side)});
+  inputs.push_back({"social", n, gen::social_graph(n, 4, 11)});
+
+  std::vector<size_t> ks = {0, 1, 16, 64, 256, 1024, 4096};
+  if (opt.batch) ks = {opt.batch};
+
+  for (const Input& in : inputs) {
+    std::printf("\n== connectivity batch sweep: %s (n=%zu, m=%zu) ==\n",
+                in.name.c_str(), in.n, in.edges.size());
+    std::printf("%-12s %12s %12s %14s %14s\n", "batch", "insert_s", "erase_s",
+                "ins_Medges/s", "del_Medges/s");
+    for (size_t k : ks) {
+      auto [ins_s, del_s] = sweep_once(in, k, 42);
+      double m = static_cast<double>(in.edges.size()) / 1e6;
+      std::printf("%-12s %12.4f %12.4f %14.3f %14.3f\n",
+                  k == 0 ? "single" : std::to_string(k).c_str(), ins_s, del_s,
+                  m / ins_s, m / del_s);
+    }
+  }
+  return 0;
+}

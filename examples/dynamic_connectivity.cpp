@@ -1,47 +1,24 @@
-// Streaming spanning-forest connectivity over a dynamic road-like network.
+// Streaming connectivity over a dynamic road-like network, on the
+// general-graph connectivity subsystem (src/connectivity/).
 //
 // A 2-D grid graph stands in for a road network; edges arrive in a random
-// stream and we maintain a spanning forest with batch-dynamic UFO-tree
-// updates, answering connectivity queries between waves. This is the
-// incremental-spanning-forest pattern the paper's RIS inputs model. A small
-// union-find stages each wave so that batched insertions are mutually
-// independent (the batch-update contract: any order must be valid).
+// stream (the paper's RIS input model) and are applied in batch waves.
+// Unlike the old hand-rolled version, no per-example union-find staging is
+// needed: GraphConnectivity accepts raw waves — cycle-closing edges become
+// replacement candidates instead of being dropped — and road closures go
+// through erase(), which searches those candidates and reroutes
+// automatically when a tree edge dies.
 //
 //   ./examples/dynamic_connectivity [side]
 #include <cstdio>
 #include <cstdlib>
-#include <numeric>
 #include <vector>
 
-#include "graph/generators.h"
-#include "seq/ufo_tree.h"
+#include "core/ufo.h"
 #include "util/random.h"
 #include "util/timer.h"
 
 using namespace ufo;
-
-namespace {
-struct UnionFind {
-  std::vector<Vertex> parent;
-  explicit UnionFind(size_t n) : parent(n) {
-    std::iota(parent.begin(), parent.end(), 0u);
-  }
-  Vertex find(Vertex x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  }
-  bool unite(Vertex a, Vertex b) {
-    a = find(a);
-    b = find(b);
-    if (a == b) return false;
-    parent[a] = b;
-    return true;
-  }
-};
-}  // namespace
 
 int main(int argc, char** argv) {
   size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
@@ -49,65 +26,59 @@ int main(int argc, char** argv) {
   EdgeList roads = gen::grid_graph(side, side);
   util::shuffle(roads, 42);
 
-  seq::UfoTree forest(n);
+  UfoConnectivity net(n);
   util::SplitMix64 rng(7);
   util::Timer timer;
 
-  // Incremental phase: batch waves of independent spanning edges.
-  UnionFind stage(n);
-  std::vector<Edge> batch;
-  size_t accepted = 0, waves = 0;
-  for (const Edge& road : roads) {
-    if (stage.unite(road.u, road.v)) {
-      batch.push_back(road);
-      ++accepted;
-      if (batch.size() == 256) {
-        forest.batch_link(batch);
-        batch.clear();
-        ++waves;
-      }
-    }
-  }
-  if (!batch.empty()) {
-    forest.batch_link(batch);
+  // Incremental phase: feed the raw stream in waves of 256. Roughly half of
+  // a grid's edges close cycles; they are retained as non-tree edges.
+  size_t waves = 0;
+  for (size_t at = 0; at < roads.size(); at += 256) {
+    EdgeList wave(roads.begin() + at,
+                  roads.begin() + std::min(roads.size(), at + 256));
+    net.batch_insert(wave);
     ++waves;
   }
-  std::printf("grid %zux%zu: %zu stream edges, %zu in forest, %zu batch "
-              "waves, %.3fs\n",
-              side, side, roads.size(), accepted, waves, timer.elapsed());
+  std::printf("grid %zux%zu: %zu stream edges -> %zu tree + %zu non-tree in "
+              "%zu waves, %zu components, %.3fs\n",
+              side, side, roads.size(), net.num_tree_edges(),
+              net.num_edges() - net.num_tree_edges(), waves,
+              net.num_components(), timer.elapsed());
 
-  // Dynamic phase: random closures and reconnections, single updates.
+  // Dynamic phase: random closures and reopenings of *any* road. Closing a
+  // spanning-tree road triggers the replacement-edge search internally.
   timer.reset();
-  // Recover the forest edges by replaying the accepted stream order.
-  std::vector<std::pair<Vertex, Vertex>> live;
-  {
-    UnionFind replay(n);
-    for (const Edge& road : roads)
-      if (replay.unite(road.u, road.v)) live.push_back({road.u, road.v});
-  }
-  size_t closures = 0, reroutes = 0;
-  for (int round = 0; round < 2000 && !live.empty(); ++round) {
-    size_t idx = rng.next(live.size());
-    auto [a, b] = live[idx];
-    forest.cut(a, b);
-    ++closures;
-    if (rng.next(2) == 0) {
-      forest.link(a, b);  // road reopens
-      ++reroutes;
+  std::vector<Edge> closed;
+  size_t closures = 0, reopenings = 0, disconnections = 0;
+  for (int round = 0; round < 4000 && !roads.empty(); ++round) {
+    bool reopen = !closed.empty() && rng.next(3) == 0;
+    if (reopen) {
+      size_t i = rng.next(closed.size());
+      Edge e = closed[i];
+      net.insert(e.u, e.v, e.w);
+      closed[i] = closed.back();
+      closed.pop_back();
+      ++reopenings;
     } else {
-      live[idx] = live.back();
-      live.pop_back();
+      const Edge& e = roads[rng.next(roads.size())];
+      if (!net.erase(e.u, e.v)) continue;  // already closed
+      closed.push_back(e);
+      ++closures;
+      if (!net.connected(e.u, e.v)) ++disconnections;
     }
   }
-  std::printf("dynamic phase: %zu closures, %zu reopenings, %.3fs\n",
-              closures, reroutes, timer.elapsed());
+  std::printf("dynamic phase: %zu closures (%zu splitting the network), "
+              "%zu reopenings, %.3fs\n",
+              closures, disconnections, reopenings, timer.elapsed());
 
   size_t connected_pairs = 0;
   for (int probe = 0; probe < 1000; ++probe) {
     Vertex a = static_cast<Vertex>(rng.next(n));
     Vertex b = static_cast<Vertex>(rng.next(n));
-    if (forest.connected(a, b)) ++connected_pairs;
+    if (net.connected(a, b)) ++connected_pairs;
   }
-  std::printf("probes: %zu/1000 vertex pairs connected\n", connected_pairs);
+  std::printf("probes: %zu/1000 vertex pairs connected, %zu components, "
+              "v0's component: %zu vertices\n",
+              connected_pairs, net.num_components(), net.component_size(0));
   return 0;
 }

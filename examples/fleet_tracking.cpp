@@ -1,19 +1,24 @@
-// Fleet tracking on a road network: non-local queries in production shape.
+// Fleet tracking on a road network: non-local queries in production shape,
+// on the general-graph connectivity subsystem.
 //
-// A dispatch service maintains the road network's spanning forest. Depots
-// are *marked* vertices; the dispatcher asks, for any incident location,
-// how far the nearest depot is (nearest_marked_distance). Planners ask for
-// the component's diameter (worst-case response transit), its center (best
-// new depot site), and its weighted median (best warehouse under demand
-// weights). Roadworks close and reopen road segments throughout the day,
-// exercising updates between query bursts.
+// A dispatch service maintains the *whole* road network (not just a
+// spanning tree): GraphConnectivity keeps a spanning forest for routing
+// queries and holds every other road as a replacement candidate. Depots are
+// *marked* vertices; the dispatcher asks, for any incident location, how
+// far the nearest depot is along the forest (nearest_marked_distance).
+// Planners ask for the component's diameter (worst-case response transit),
+// its center (best new depot site), and its weighted median (best warehouse
+// under demand weights). Roadworks close and reopen segments throughout the
+// day; when a closure severs a spanning route, the subsystem reroutes over
+// a parallel road automatically — the old version of this example did that
+// reroute scan by hand.
 //
 //   ./examples/fleet_tracking [grid_side]
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "graph/generators.h"
-#include "seq/ufo_tree.h"
+#include "core/ufo.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -22,13 +27,10 @@ using namespace ufo;
 int main(int argc, char** argv) {
   size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
   size_t n = side * side;
-  // Road network stand-in: a grid; the forest is its BFS spanning tree
-  // (same extraction the paper uses for USA-roads).
   EdgeList roads = gen::grid_graph(side, side);
-  EdgeList forest = gen::bfs_forest(n, roads, 5);
 
-  seq::UfoTree net(n);
-  for (const Edge& e : forest) net.link(e.u, e.v, e.w);
+  UfoConnectivity net(n);
+  net.batch_insert(roads);
 
   // Demand weights: city blocks near the center are busier.
   for (Vertex v = 0; v < n; ++v) {
@@ -50,38 +52,32 @@ int main(int argc, char** argv) {
 
   util::Timer timer;
   long long checksum = 0;
-  size_t closures = 0;
+  size_t closures = 0, reopenings = 0;
+  std::vector<Edge> closed;
   for (int hour = 0; hour < 24; ++hour) {
-    // Query burst: 2000 dispatch lookups.
+    // Query burst: 2000 dispatch lookups against the spanning forest.
     for (int q = 0; q < 2000; ++q) {
       Vertex at = static_cast<Vertex>(rng.next(n));
-      checksum += net.nearest_marked_distance(at);
+      checksum += net.forest().nearest_marked_distance(at);
     }
     // Planning queries once per hour.
-    checksum += net.component_diameter(0);
-    checksum += net.component_center(0);
-    checksum += net.component_median(0);
-    // Roadworks: close 20 random segments, reroute via fresh BFS edges of
-    // the *graph* (pick a replacement road that reconnects the two sides).
-    for (int c = 0; c < 20 && c < static_cast<int>(forest.size()); ++c) {
-      size_t i = rng.next(forest.size());
-      Edge closed = forest[i];
-      net.cut(closed.u, closed.v);
-      ++closures;
-      // Find a reopening road among the grid edges joining the two sides.
-      bool rerouted = false;
-      for (size_t probe = 0; probe < roads.size(); ++probe) {
-        const Edge& r = roads[(i + probe) % roads.size()];
-        if (net.connected(r.u, r.v)) continue;
-        net.link(r.u, r.v, r.w);
-        forest[i] = r;
-        rerouted = true;
-        break;
+    checksum += net.forest().component_diameter(0);
+    checksum += net.forest().component_center(0);
+    checksum += net.forest().component_median(0);
+    // Roadworks: close 20 random segments; rerouting over parallel roads is
+    // the subsystem's replacement-edge search. Reopen a few older closures.
+    for (int c = 0; c < 20 && !roads.empty(); ++c) {
+      const Edge& e = roads[rng.next(roads.size())];
+      if (net.erase(e.u, e.v)) {
+        closed.push_back(e);
+        ++closures;
       }
-      if (!rerouted) {  // dead-end closure: reopen the same segment
-        net.link(closed.u, closed.v, closed.w);
-        forest[i] = closed;
-      }
+    }
+    while (closed.size() > 60) {  // crews finish oldest roadworks
+      Edge e = closed.front();
+      closed.erase(closed.begin());
+      net.insert(e.u, e.v, e.w);
+      ++reopenings;
     }
   }
   double secs = timer.elapsed();
@@ -89,12 +85,14 @@ int main(int argc, char** argv) {
   std::printf("grid %zux%zu (n=%zu): 24 hours simulated in %.3fs\n", side,
               side, n, secs);
   std::printf("  48000 nearest-depot queries, 72 planning queries, %zu road "
-              "closures\n", closures);
-  std::printf("  checksum %lld\n", checksum);
+              "closures, %zu reopenings\n",
+              closures, reopenings);
+  std::printf("  %zu components at close of day, checksum %lld\n",
+              net.num_components(), checksum);
 
   // Sanity: distances at the depots themselves are zero.
   for (Vertex d : depots)
-    if (net.nearest_marked_distance(d) != 0) {
+    if (net.forest().nearest_marked_distance(d) != 0) {
       std::fprintf(stderr, "depot %u misreported\n", d);
       return 1;
     }

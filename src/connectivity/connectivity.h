@@ -1,0 +1,467 @@
+// Batch-dynamic connectivity for *general graphs*.
+//
+// The paper's structures maintain forests: link() requires its endpoints to
+// be disconnected and cut() removes a tree edge. Every motivating workload
+// (RIS edge streams, road closures, fleet tracking) is a general-graph
+// problem, so this subsystem layers the textbook spanning-forest scheme on
+// top of any batch-dynamic tree:
+//
+//   * a spanning forest of the current graph, held in the Backend
+//     (default seq::UfoTree — O(min{log n, D}) updates, Theorem 4.3);
+//   * every remaining edge in a non-tree EdgeStore (per-vertex adjacency on
+//     the phase-concurrent hash table);
+//   * on insertion, an edge joining two components becomes a tree edge,
+//     otherwise a non-tree edge;
+//   * on deletion of a tree edge, a replacement-edge search scans the
+//     smaller split side for a non-tree edge leaving it and promotes it.
+//
+// Batch operations preserve the Section 5 batch contract for the backend: a
+// batch_insert stages candidates through a union-find over the batch
+// endpoints (seeded with forest component ids), so the edges handed to
+// Backend::batch_link are mutually independent — any ordering is a valid
+// link sequence. batch_erase cuts all tree edges in one backend batch and
+// then runs replacement searches.
+//
+// Replacement-search invariant (why one pass suffices): during batch_erase,
+// cuts happen before any promotion, and afterwards components only merge.
+// For each cut edge {u, v} the search loop ends in one of two permanent
+// states: u and v reconnected, or both of their components certified
+// crossing-free (every non-tree edge incident to a certified component
+// stays internal, and certified components never change again). A crossing
+// edge surviving all searches would yield, by walking its endpoints'
+// original tree path, a cut pair with one endpoint in an uncertified
+// crossing component and its partner elsewhere — contradicting that every
+// pair finished in a permanent state. Hence forest components equal graph
+// components after a single pass over the cut edges.
+//
+// Costs: insert/erase of a non-tree edge O(1) expected beyond the
+// connectivity query; tree-edge deletion O(min-side + incident non-tree
+// edges) for the search plus the backend cut — the pragmatic bound (no
+// HDT-style amortization), which the bench_connectivity sweep measures.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "connectivity/edge_store.h"
+#include "core/capabilities.h"
+#include "graph/forest.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "seq/ufo_tree.h"
+#include "util/union_find.h"
+
+namespace ufo::conn {
+
+// BFS component labeling over a tree-edge store; label = smallest vertex id
+// in the component. Shared by check_valid() and the test oracles.
+std::vector<Vertex> component_labels(const EdgeStore& tree_edges);
+
+template <core::BatchDynamic Backend = seq::UfoTree>
+class GraphConnectivity {
+ public:
+  using backend_type = Backend;
+
+  explicit GraphConnectivity(size_t n)
+      : n_(n), forest_(n), tree_(n), nontree_(n), components_(n) {}
+
+  size_t size() const { return n_; }
+  size_t num_edges() const { return tree_.edges() + nontree_.edges(); }
+  size_t num_tree_edges() const { return tree_.edges(); }
+  size_t num_components() const { return components_; }
+  bool has_edge(Vertex u, Vertex v) const {
+    return u != v && (tree_.contains(u, v) || nontree_.contains(u, v));
+  }
+  bool connected(Vertex u, Vertex v) const {
+    return u == v || forest_.connected(u, v);
+  }
+
+  // The spanning forest itself: path/subtree/non-local queries on it are
+  // meaningful for any workload that treats promoted edges as routes.
+  const Backend& forest() const { return forest_; }
+
+  // Vertex annotations pass through to the backend when it supports them
+  // (weights feed subtree aggregates, marks feed nearest-marked queries);
+  // they never affect connectivity, so exposing them cannot desync the
+  // spanning forest.
+  void set_vertex_weight(Vertex v, Weight w)
+    requires core::SubtreeQueryable<Backend>
+  {
+    forest_.set_vertex_weight(v, w);
+  }
+  void set_mark(Vertex v, bool m)
+    requires core::NonLocalQueryable<Backend>
+  {
+    forest_.set_mark(v, m);
+  }
+
+  // Number of vertices in v's component. Uses the backend's subtree
+  // aggregates when available (O(update cost)), otherwise a BFS over the
+  // spanning forest (O(component size)).
+  size_t component_size(Vertex v) const {
+    if constexpr (kHasSubtreeSize) {
+      Vertex p = kNoVertex;
+      tree_.for_each_neighbor(v, [&](Vertex y) {
+        if (p == kNoVertex) p = y;
+      });
+      if (p == kNoVertex) return 1;  // isolated vertex
+      return forest_.subtree_size(v, p) + forest_.subtree_size(p, v);
+    } else {
+      std::unordered_set<Vertex> side;
+      std::vector<Vertex> order;
+      collect_component(v, &side, &order);
+      return side.size();
+    }
+  }
+
+  // --- Single-edge updates --------------------------------------------------
+  // Insert {u, v}. Returns false (no-op) on self-loops and duplicates.
+  bool insert(Vertex u, Vertex v, Weight w = 1) {
+    if (u == v || u >= n_ || v >= n_ || has_edge(u, v)) return false;
+    weight_[edge_key(u, v)] = w;
+    if (forest_.connected(u, v)) {
+      nontree_.insert(u, v);
+    } else {
+      link_tree(u, v, w);
+    }
+    return true;
+  }
+
+  // Erase {u, v}. Returns false if the edge is absent. Deleting a tree edge
+  // triggers the replacement-edge search.
+  bool erase(Vertex u, Vertex v) {
+    if (u == v || u >= n_ || v >= n_) return false;
+    if (nontree_.erase(u, v)) {
+      weight_.erase(edge_key(u, v));
+      return true;
+    }
+    if (!tree_.contains(u, v)) return false;
+    weight_.erase(edge_key(u, v));
+    cut_tree(u, v);
+    reconnect(u, v, /*multi_piece=*/false);
+    return true;
+  }
+
+  // --- Batch updates --------------------------------------------------------
+  // Insert a batch of edges. Unlike Backend::batch_link there is no
+  // precondition: self-loops, duplicates within the batch, and edges already
+  // present are filtered, and cycle-closing edges become non-tree edges. The
+  // spanning candidates are staged through a union-find so the backend batch
+  // is mutually independent (Section 5 contract).
+  void batch_insert(const EdgeList& edges) {
+    if (edges.empty()) return;
+    // Phase 1 (parallel): canonicalize and drop self-loops + present edges.
+    EdgeList cand(edges.size());
+    par::parallel_for(0, edges.size(), [&](size_t i) {
+      Edge e = edges[i];
+      if (e.u > e.v) std::swap(e.u, e.v);
+      cand[i] = e;
+    });
+    cand = par::filter(cand, [&](const Edge& e) {
+      return e.u != e.v && e.u < n_ && e.v < n_ && !has_edge(e.u, e.v);
+    });
+    // Dedupe within the batch (keep the first occurrence of each key).
+    par::sort(cand, [](const Edge& a, const Edge& b) {
+      return edge_key(a.u, a.v) < edge_key(b.u, b.v);
+    });
+    cand.erase(std::unique(cand.begin(), cand.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return edge_key(a.u, a.v) == edge_key(b.u, b.v);
+                           }),
+               cand.end());
+    if (cand.empty()) return;
+
+    // Phase 2: stage through a union-find over the batch endpoints, seeded
+    // so endpoints sharing a forest component start united.
+    std::vector<Vertex> verts;
+    verts.reserve(2 * cand.size());
+    for (const Edge& e : cand) {
+      verts.push_back(e.u);
+      verts.push_back(e.v);
+    }
+    par::remove_duplicates(verts);
+    std::unordered_map<Vertex, Vertex> local;
+    local.reserve(verts.size());
+    for (Vertex v : verts) local.emplace(v, static_cast<Vertex>(local.size()));
+    util::UnionFind stage(verts.size());
+    seed_components(verts, &stage);
+
+    EdgeList tree_batch, nontree_batch;
+    for (const Edge& e : cand) {
+      if (stage.unite(local[e.u], local[e.v]))
+        tree_batch.push_back(e);
+      else
+        nontree_batch.push_back(e);
+    }
+
+    // Phase 3: apply. The tree batch is mutually independent by staging.
+    for (const Edge& e : cand) weight_[edge_key(e.u, e.v)] = e.w;
+    if (!tree_batch.empty()) {
+      forest_.batch_link(tree_batch);
+      components_ -= tree_batch.size();
+      tree_.reserve_batch(tree_batch);
+      par::parallel_for(0, tree_batch.size(), [&](size_t i) {
+        tree_.insert_concurrent(tree_batch[i].u, tree_batch[i].v);
+      });
+    }
+    if (!nontree_batch.empty()) {
+      nontree_.reserve_batch(nontree_batch);
+      par::parallel_for(0, nontree_batch.size(), [&](size_t i) {
+        nontree_.insert_concurrent(nontree_batch[i].u, nontree_batch[i].v);
+      });
+    }
+  }
+
+  // Erase a batch of edges. Absent edges and duplicates are filtered.
+  // Non-tree removals are trivial; tree removals go through one backend
+  // batch_cut, then a replacement search per cut edge (single pass — see the
+  // invariant argument in the header comment).
+  void batch_erase(const EdgeList& edges) {
+    if (edges.empty()) return;
+    EdgeList cand(edges.size());
+    par::parallel_for(0, edges.size(), [&](size_t i) {
+      Edge e = edges[i];
+      if (e.u > e.v) std::swap(e.u, e.v);
+      cand[i] = e;
+    });
+    par::sort(cand, [](const Edge& a, const Edge& b) {
+      return edge_key(a.u, a.v) < edge_key(b.u, b.v);
+    });
+    cand.erase(std::unique(cand.begin(), cand.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return edge_key(a.u, a.v) == edge_key(b.u, b.v);
+                           }),
+               cand.end());
+    // Classify in parallel: 1 = non-tree, 2 = tree, 0 = absent.
+    std::vector<uint8_t> kind(cand.size());
+    par::parallel_for(0, cand.size(), [&](size_t i) {
+      const Edge& e = cand[i];
+      if (e.u == e.v || e.u >= n_ || e.v >= n_)
+        kind[i] = 0;
+      else if (nontree_.contains(e.u, e.v))
+        kind[i] = 1;
+      else if (tree_.contains(e.u, e.v))
+        kind[i] = 2;
+      else
+        kind[i] = 0;
+    });
+    // Non-tree removals: phase-concurrent tombstone erases.
+    par::parallel_for(0, cand.size(), [&](size_t i) {
+      if (kind[i] == 1) nontree_.erase(cand[i].u, cand[i].v);
+    });
+    EdgeList cut_batch;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (kind[i] != 0) weight_.erase(edge_key(cand[i].u, cand[i].v));
+      if (kind[i] == 2) cut_batch.push_back(cand[i]);
+    }
+    if (cut_batch.empty()) return;
+    for (const Edge& e : cut_batch) tree_.erase(e.u, e.v);
+    forest_.batch_cut(cut_batch);
+    components_ += cut_batch.size();
+    // One cut edge makes exactly two pieces; only larger cut batches can
+    // shatter a component and need the far-side certification pass.
+    bool multi_piece = cut_batch.size() > 1;
+    for (const Edge& e : cut_batch) reconnect(e.u, e.v, multi_piece);
+  }
+
+  // --- Introspection --------------------------------------------------------
+  size_t memory_bytes() const {
+    size_t total = sizeof(*this) + tree_.memory_bytes() +
+                   nontree_.memory_bytes() +
+                   weight_.size() * (sizeof(uint64_t) + sizeof(Weight));
+    if constexpr (requires(const Backend& b) { b.memory_bytes(); })
+      total += forest_.memory_bytes();
+    return total;
+  }
+
+  // Invariant audit (tests): the forest spans exactly the graph's
+  // components, every non-tree edge is intra-component, and the counters
+  // agree with a from-scratch labeling.
+  bool check_valid() const {
+    std::vector<Vertex> label = component_labels(tree_);
+    size_t comps = 0;
+    for (Vertex v = 0; v < n_; ++v)
+      if (label[v] == v) ++comps;
+    if (comps != components_) return false;
+    if (tree_.edges() != n_ - components_) return false;
+    bool ok = true;
+    for (Vertex v = 0; v < n_ && ok; ++v) {
+      nontree_.for_each_neighbor(v, [&](Vertex y) {
+        if (label[v] != label[y]) ok = false;       // crossing non-tree edge
+        if (!weight_.count(edge_key(v, y))) ok = false;
+      });
+      tree_.for_each_neighbor(v, [&](Vertex y) {
+        if (!forest_.connected(v, y)) ok = false;   // forest out of sync
+      });
+    }
+    return ok;
+  }
+
+ private:
+  static constexpr bool kHasComponentId =
+      requires(const Backend& b, Vertex x) {
+        { b.component_id(x) } -> std::convertible_to<uint64_t>;
+      };
+  static constexpr bool kHasSubtreeSize =
+      requires(const Backend& b, Vertex x, Vertex p) {
+        { b.subtree_size(x, p) } -> std::convertible_to<size_t>;
+      };
+
+  void link_tree(Vertex u, Vertex v, Weight w) {
+    forest_.link(u, v, w);
+    tree_.insert(u, v);
+    --components_;
+  }
+
+  void cut_tree(Vertex u, Vertex v) {
+    tree_.erase(u, v);
+    forest_.cut(u, v);
+    ++components_;
+  }
+
+  Weight weight_of(Vertex u, Vertex v) const {
+    auto it = weight_.find(edge_key(u, v));
+    return it == weight_.end() ? Weight{1} : it->second;
+  }
+
+  // Pre-unite staged endpoints that share a forest component. Fast path: one
+  // component_id per endpoint (computed in parallel) and a group-by. Generic
+  // backends fall back to representative scanning with pairwise connected()
+  // queries (O(endpoints x distinct components) worst case).
+  void seed_components(const std::vector<Vertex>& verts,
+                       util::UnionFind* stage) {
+    if constexpr (kHasComponentId) {
+      std::vector<std::pair<uint64_t, Vertex>> keyed =
+          par::map(verts.size(), [&](size_t i) {
+            return std::make_pair(forest_.component_id(verts[i]),
+                                  static_cast<Vertex>(i));
+          });
+      for (auto range : par::group_by_key(keyed))
+        for (size_t i = range.first + 1; i < range.second; ++i)
+          stage->unite(keyed[range.first].second, keyed[i].second);
+    } else {
+      std::vector<Vertex> reps;  // one endpoint per distinct component
+      for (size_t i = 0; i < verts.size(); ++i) {
+        bool found = false;
+        for (Vertex r : reps) {
+          if (forest_.connected(verts[i], verts[r])) {
+            stage->unite(static_cast<Vertex>(i), r);
+            found = true;
+            break;
+          }
+        }
+        if (!found) reps.push_back(static_cast<Vertex>(i));
+      }
+    }
+  }
+
+  // Full BFS of v's spanning-forest component into `side` (+ visit order).
+  void collect_component(Vertex v, std::unordered_set<Vertex>* side,
+                         std::vector<Vertex>* order) const {
+    side->clear();
+    side->insert(v);
+    order->assign(1, v);
+    for (size_t head = 0; head < order->size(); ++head) {
+      tree_.for_each_neighbor((*order)[head], [&](Vertex y) {
+        if (side->insert(y).second) order->push_back(y);
+      });
+    }
+  }
+
+  // Two-sided BFS over tree edges from the freshly separated u and v; the
+  // side whose frontier exhausts first is the smaller component and is
+  // returned in `side`/`order`. Returns 0 for u's side, 1 for v's. Cost is
+  // O(min(|side(u)|, |side(v)|)) tree-edge traversals.
+  int smaller_side(Vertex u, Vertex v, std::unordered_set<Vertex>* side,
+                   std::vector<Vertex>* order) const {
+    std::unordered_set<Vertex> vis[2] = {{u}, {v}};
+    std::vector<Vertex> queue[2] = {{u}, {v}};
+    size_t head[2] = {0, 0};
+    for (;;) {
+      for (int s = 0; s < 2; ++s) {
+        if (head[s] == queue[s].size()) {
+          *side = std::move(vis[s]);
+          *order = std::move(queue[s]);
+          return s;
+        }
+        Vertex x = queue[s][head[s]++];
+        tree_.for_each_neighbor(x, [&](Vertex y) {
+          if (vis[s].insert(y).second) queue[s].push_back(y);
+        });
+      }
+    }
+  }
+
+  // Scan `side` (a full component, `order` = its vertices) for non-tree
+  // edges leaving it and promote every one found to a tree edge. A
+  // promotion merges the attached piece into `side`, and its vertices join
+  // the scan — each vertex is scanned once, so a shattered component is
+  // re-absorbed in time linear in its size rather than quadratically
+  // (re-collecting after every promotion). If tu != kNoVertex, stops early
+  // once tu and tv are connected and returns true; returns false when the
+  // scan exhausts, i.e. `side` has become a certified crossing-free
+  // component.
+  bool sweep_and_promote(std::unordered_set<Vertex>* side,
+                         std::vector<Vertex>* order, Vertex tu, Vertex tv) {
+    for (size_t i = 0; i < order->size();) {
+      Vertex x = (*order)[i];
+      Vertex found_y = kNoVertex;
+      nontree_.for_each_neighbor(x, [&](Vertex y) {
+        if (found_y == kNoVertex && !side->count(y)) found_y = y;
+      });
+      if (found_y == kNoVertex) {
+        ++i;  // x has no crossing edges; side only grows, so this is final
+        continue;
+      }
+      nontree_.erase(x, found_y);
+      link_tree(x, found_y, weight_of(x, found_y));
+      if (tu != kNoVertex && forest_.connected(tu, tv)) return true;
+      // Absorb the attached piece; do not advance i — x may cross again.
+      size_t grow = order->size();
+      if (side->insert(found_y).second) order->push_back(found_y);
+      for (; grow < order->size(); ++grow) {
+        tree_.for_each_neighbor((*order)[grow], [&](Vertex y) {
+          if (side->insert(y).second) order->push_back(y);
+        });
+      }
+    }
+    return false;
+  }
+
+  // Replacement search after cutting tree edge {u, v}; see the header
+  // comment for the termination/correctness argument. The pair ends in a
+  // permanent state: reconnected, or both sides certified crossing-free.
+  // multi_piece: a batch cut may have shattered the component into > 2
+  // pieces, so a certified near side does not imply the far side is clean.
+  void reconnect(Vertex u, Vertex v, bool multi_piece) {
+    if (forest_.connected(u, v)) return;  // an earlier replacement rejoined
+    std::unordered_set<Vertex> side;
+    std::vector<Vertex> order;
+    int s = smaller_side(u, v, &side, &order);
+    if (sweep_and_promote(&side, &order, u, v)) return;
+    // The near side is a complete component: u and v are truly split. A
+    // single cut makes exactly two pieces, and every crossing edge has an
+    // endpoint in the near side, so an exhausted near sweep already proves
+    // the far side clean — the O(far side) pass below is batch-only.
+    if (!multi_piece) return;
+    Vertex far = (s == 0) ? v : u;
+    collect_component(far, &side, &order);
+    sweep_and_promote(&side, &order, kNoVertex, kNoVertex);
+  }
+
+  size_t n_;
+  Backend forest_;           // spanning forest (tree edges only)
+  EdgeStore tree_;           // its adjacency, for O(1) membership + BFS
+  EdgeStore nontree_;        // replacement-edge candidates
+  std::unordered_map<uint64_t, Weight> weight_;  // key -> weight, all edges
+  size_t components_;
+};
+
+static_assert(core::GraphConnectivity<GraphConnectivity<seq::UfoTree>>);
+
+// The default backend is compiled once in connectivity.cc.
+extern template class GraphConnectivity<seq::UfoTree>;
+
+}  // namespace ufo::conn

@@ -67,4 +67,28 @@ template <class T>
 concept FullDynamicTree =
     PathQueryable<T> && SubtreeQueryable<T> && NonLocalQueryable<T>;
 
+// General-graph connectivity (src/connectivity/): unlike DynamicTree, edges
+// may form cycles — the structure maintains a spanning forest internally and
+// answers connectivity over the whole graph. insert/erase return whether the
+// edge set actually changed; batch operations accept arbitrary edge lists
+// (duplicates and already-present/absent edges are filtered, cycles demoted
+// to non-tree edges), so callers need no Section 5 independence staging of
+// their own.
+template <class T>
+concept GraphConnectivity =
+    requires(T g, const T cg, Vertex u, Vertex v, Weight w,
+             const EdgeList& edges) {
+      { T(size_t{8}) };
+      { cg.size() } -> std::convertible_to<size_t>;
+      { g.insert(u, v, w) } -> std::convertible_to<bool>;
+      { g.erase(u, v) } -> std::convertible_to<bool>;
+      { g.batch_insert(edges) };
+      { g.batch_erase(edges) };
+      { cg.connected(u, v) } -> std::convertible_to<bool>;
+      { cg.has_edge(u, v) } -> std::convertible_to<bool>;
+      { cg.component_size(u) } -> std::convertible_to<size_t>;
+      { cg.num_components() } -> std::convertible_to<size_t>;
+      { cg.num_edges() } -> std::convertible_to<size_t>;
+    };
+
 }  // namespace ufo::core

@@ -9,8 +9,11 @@
 //                      connectivity + path queries only)
 //   SplayTopForest   — splay top tree backend (self-adjusting; path +
 //                      subtree queries)
+//   UfoConnectivity  — general-graph connectivity (spanning forest over the
+//                      UFO tree + non-tree edge store; src/connectivity/)
 #pragma once
 
+#include "connectivity/connectivity.h"
 #include "core/capabilities.h"
 #include "core/dynamic_forest.h"
 #include "graph/forest.h"
@@ -27,9 +30,11 @@ using UfoForest = core::DynamicForest<seq::UfoTree>;
 using TopologyForest = core::DynamicForest<seq::Ternarizer<seq::TopologyTree>>;
 using LinkCutForest = core::DynamicForest<seq::LinkCutTree>;
 using SplayTopForest = core::DynamicForest<seq::SplayTopTree>;
+using UfoConnectivity = conn::GraphConnectivity<seq::UfoTree>;
 
 // The headline structure carries the full Table 1 capability row.
 static_assert(core::FullDynamicTree<seq::UfoTree>);
 static_assert(core::BatchDynamic<seq::UfoTree>);
+static_assert(core::GraphConnectivity<UfoConnectivity>);
 
 }  // namespace ufo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <unordered_set>
 
 #include "util/random.h"
 #include "util/zipf.h"
@@ -147,13 +148,19 @@ EdgeList social_graph(size_t n, size_t degree, uint64_t seed) {
   SplitMix64 rng(seed);
   std::vector<Vertex> ends;
   ends.reserve(2 * n * degree);
+  std::unordered_set<uint64_t> seen;
   e.push_back({0, 1, 1});
+  seen.insert(edge_key(0, 1));
   ends.push_back(0);
   ends.push_back(1);
   for (size_t i = 2; i < n; ++i) {
     for (size_t d = 0; d < degree; ++d) {
       Vertex target = ends[rng.next(ends.size())];
+      // The contract promises a simple graph: drop self-loops and re-drawn
+      // duplicates (attachment rounds for the same i can repeat a target).
       if (target == i) continue;
+      if (!seen.insert(edge_key(target, static_cast<Vertex>(i))).second)
+        continue;
       e.push_back({target, static_cast<Vertex>(i), 1});
       ends.push_back(target);
       ends.push_back(static_cast<Vertex>(i));

@@ -55,6 +55,11 @@ class UfoTree {
 
   // --- Queries --------------------------------------------------------------
   bool connected(Vertex u, Vertex v) const;
+  // Opaque identifier of v's component: equal for two vertices iff they are
+  // connected. Only valid until the next update (the id is the component's
+  // current root cluster). Lets bulk callers (the connectivity subsystem's
+  // batch staging) canonicalize many endpoints without pairwise queries.
+  uint64_t component_id(Vertex v) const { return tree_root(v); }
   Weight path_sum(Vertex u, Vertex v) const;
   Weight path_max(Vertex u, Vertex v) const;
   int64_t path_length(Vertex u, Vertex v) const;  // hop count
@@ -209,6 +214,9 @@ class UfoTree {
                       Weight* sum, Weight* mx, int64_t* len) const;
 
   size_t n_;
+  // True during batch_update's deletion walk, where a doomed pair merge may
+  // be recomputed before its retirement (see recompute_aggregates).
+  bool batch_deleting_ = false;
   std::vector<Cluster> clusters_;
   std::vector<uint32_t> free_;
   std::vector<Weight> vweight_;
