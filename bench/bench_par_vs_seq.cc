@@ -1,0 +1,105 @@
+// Thread sweep: par::UfoTree against seq::UfoTree on identical batched
+// build+destroy workloads, across fork-join pool widths.
+//
+// The pool's width is fixed at process start (UFOTREE_NUM_THREADS), so the
+// sweep re-executes this binary once per thread count with the variable set
+// and captures the child's measurement over a pipe. Inputs follow Fig. 8/9:
+// a path (all pair merges), a preferential-attachment tree (mixed), and a
+// star (one superunary merge).
+//
+//   --n=<vertices>  --batch=<k>  --quick
+//
+// The speedup column is seq seconds / widest-par seconds — the acceptance
+// target for this backend is >= 1.5x on >= 4 cores at k = 100000 (see
+// BENCH.md for recorded runs; single-core hosts can only show the parallel
+// overhead, not the speedup).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "graph/generators.h"
+#include "parallel/par_ufo_tree.h"
+#include "parallel/scheduler.h"
+#include "seq/ufo_tree.h"
+
+using namespace ufo;
+using namespace ufo::bench;
+
+namespace {
+
+EdgeList make_input(const std::string& name, size_t n) {
+  if (name == "path") return gen::path(n);
+  if (name == "pref-attach") return gen::pref_attach(n, 7);
+  return gen::star(n);
+}
+
+// Child mode: one parallel measurement, result on stdout for the parent.
+int child_main(const std::string& input, size_t n, size_t k) {
+  double s = batch_build_destroy_seconds<par::UfoTree>(n, make_input(input, n),
+                                                       k, 4);
+  std::printf("%.6f\n", s);
+  return 0;
+}
+
+// Re-exec self with the pool width pinned; returns seconds or -1.
+double run_child(const char* self, const std::string& input, size_t n,
+                 size_t k, unsigned threads) {
+  std::string cmd = "UFOTREE_NUM_THREADS=" + std::to_string(threads) + " '" +
+                    self + "' --child=" + input + " --n=" + std::to_string(n) +
+                    " --batch=" + std::to_string(k);
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return -1;
+  double s = -1;
+  if (std::fscanf(pipe, "%lf", &s) != 1) s = -1;
+  if (pclose(pipe) != 0) return -1;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  size_t n = opt.n ? opt.n : (opt.quick ? 20000 : 300000);
+  size_t k = opt.batch ? opt.batch : std::min<size_t>(n, 100000);
+  std::string child_input;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--child=", 8) == 0) child_input = argv[i] + 8;
+  if (!child_input.empty()) return child_main(child_input, n, k);
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<unsigned> threads{1, 2, 4};
+  if (hw > 4) threads.push_back(hw);
+  std::printf(
+      "[par-vs-seq] batch UFO build+destroy, n=%zu, k=%zu (seconds); "
+      "host has %u hardware threads\n",
+      n, k, hw);
+  std::vector<std::string> cols{"seq"};
+  for (unsigned t : threads) cols.push_back("par-t" + std::to_string(t));
+  cols.push_back("speedup");
+  print_header("inputs", "input", cols);
+  for (const std::string& input : {"path", "pref-attach", "star"}) {
+    std::printf("%-26s", input.c_str());
+    double seq_s = batch_build_destroy_seconds<seq::UfoTree>(
+        n, make_input(input, n), k, 4);
+    print_cell(seq_s);
+    std::fflush(stdout);
+    double widest = -1;
+    for (unsigned t : threads) {
+      widest = run_child(argv[0], input, n, k, t);
+      print_cell(widest);
+      std::fflush(stdout);
+    }
+    if (widest > 0)
+      std::printf(" %11.2fx", seq_s / widest);
+    else
+      std::printf(" %12s", "n/a");
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

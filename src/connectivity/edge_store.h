@@ -43,8 +43,8 @@ class EdgeStore {
   // Sequential insert; grows the endpoint sets as needed. Returns true iff
   // the edge was absent.
   bool insert(Vertex u, Vertex v) {
-    adj_[u].reserve(adj_[u].size() + 1);
-    adj_[v].reserve(adj_[v].size() + 1);
+    adj_[u].reserve(1);
+    adj_[v].reserve(1);
     return insert_concurrent(u, v);
   }
 
@@ -86,7 +86,7 @@ class EdgeStore {
       ++extra[e.u];
       ++extra[e.v];
     }
-    for (const auto& [v, k] : extra) adj_[v].reserve(adj_[v].size() + k);
+    for (const auto& [v, k] : extra) adj_[v].reserve(k);
   }
 
   size_t memory_bytes() const {

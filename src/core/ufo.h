@@ -9,8 +9,12 @@
 //                      connectivity + path queries only)
 //   SplayTopForest   — splay top tree backend (self-adjusting; path +
 //                      subtree queries)
+//   ParUfoForest     — parallel batch-dynamic UFO tree backend (Section 5;
+//                      level-synchronous batch updates on the fork-join
+//                      runtime, same query suite as UfoForest)
 //   UfoConnectivity  — general-graph connectivity (spanning forest over the
 //                      UFO tree + non-tree edge store; src/connectivity/)
+//   ParUfoConnectivity — the same subsystem over the parallel backend
 #pragma once
 
 #include "connectivity/connectivity.h"
@@ -18,6 +22,7 @@
 #include "core/dynamic_forest.h"
 #include "graph/forest.h"
 #include "graph/generators.h"
+#include "parallel/par_ufo_tree.h"
 #include "seq/link_cut_tree.h"
 #include "seq/splay_top_tree.h"
 #include "seq/ternarize.h"
@@ -30,11 +35,17 @@ using UfoForest = core::DynamicForest<seq::UfoTree>;
 using TopologyForest = core::DynamicForest<seq::Ternarizer<seq::TopologyTree>>;
 using LinkCutForest = core::DynamicForest<seq::LinkCutTree>;
 using SplayTopForest = core::DynamicForest<seq::SplayTopTree>;
+using ParUfoForest = core::DynamicForest<par::UfoTree>;
 using UfoConnectivity = conn::GraphConnectivity<seq::UfoTree>;
+using ParUfoConnectivity = conn::GraphConnectivity<par::UfoTree>;
 
 // The headline structure carries the full Table 1 capability row.
 static_assert(core::FullDynamicTree<seq::UfoTree>);
 static_assert(core::BatchDynamic<seq::UfoTree>);
 static_assert(core::GraphConnectivity<UfoConnectivity>);
+// The parallel backend carries the same row (the queries are shared code).
+static_assert(core::FullDynamicTree<par::UfoTree>);
+static_assert(core::BatchDynamic<par::UfoTree>);
+static_assert(core::GraphConnectivity<ParUfoConnectivity>);
 
 }  // namespace ufo

@@ -1,0 +1,204 @@
+// UfoCore: the cluster hierarchy shared by every UFO-tree backend.
+//
+// Both the sequential UFO tree (src/seq/ufo_tree.h) and the parallel
+// batch-dynamic one (src/parallel/par_ufo_tree.h) maintain the same
+// contraction structure — a forest of clusters where each internal cluster
+// is a pair merge (two adjacent children joined across a recorded merge
+// edge), a fanout-1 extension, or a superunary (high-degree) merge of a
+// center child with its degree-1 rake neighbors. Everything that depends
+// only on that structure lives here:
+//
+//   * the cluster pool (allocation, adjacency, parent/child bookkeeping);
+//   * aggregate maintenance (recompute_aggregates and the incremental rake
+//     index standing in for the paper's rank trees, Section 4.2);
+//   * the entire query suite (App. C.2): path sum/max/length, subtree
+//     sum/size, LCA, diameter/center/median, nearest-marked-vertex;
+//   * the validity and aggregate audits used by the tests.
+//
+// What the backends add is the *update* algorithm: seq::UfoTree implements
+// Algorithms 1-2 (ancestor deletion + greedy reclustering), par::UfoTree the
+// level-synchronous parallel batch variant (Section 5). Any hierarchy that
+// satisfies the structural invariants below answers queries correctly
+// through this base, which is what lets the two backends share code and the
+// tests compare them differentially.
+//
+// Structural invariants relied on throughout (see DESIGN.md):
+//   * every cluster has at most two distinct boundary vertices;
+//   * clusters with >= 3 incident edges (superunary) have exactly one
+//     boundary vertex — their "center" — and arise only from high-degree
+//     merges, whose center child is recorded in `center_child`;
+//   * pair merges (fanout 2, center_child == 0) record their merge edge;
+//   * children of a cluster live exactly one level below it, and adjacency
+//     only ever connects clusters of the same level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/forest.h"
+
+namespace ufo::core {
+
+class UfoCore {
+ public:
+  size_t size() const { return n_; }
+
+  bool has_edge(Vertex u, Vertex v) const;
+  size_t degree(Vertex v) const;
+  void set_vertex_weight(Vertex v, Weight w);
+  void set_mark(Vertex v, bool marked);
+
+  // --- Queries --------------------------------------------------------------
+  bool connected(Vertex u, Vertex v) const;
+  // Opaque identifier of v's component: equal for two vertices iff they are
+  // connected. Only valid until the next update (the id is the component's
+  // current root cluster). Lets bulk callers (the connectivity subsystem's
+  // batch staging) canonicalize many endpoints without pairwise queries.
+  uint64_t component_id(Vertex v) const { return tree_root(v); }
+  Weight path_sum(Vertex u, Vertex v) const;
+  Weight path_max(Vertex u, Vertex v) const;
+  int64_t path_length(Vertex u, Vertex v) const;  // hop count
+  Weight subtree_sum(Vertex v, Vertex p) const;
+  size_t subtree_size(Vertex v, Vertex p) const;
+  Vertex lca(Vertex u, Vertex v, Vertex r) const;
+  void path_milestone(Vertex u, Vertex v, Vertex* a, Vertex* b) const;
+  int64_t component_diameter(Vertex v) const;
+  Vertex component_center(Vertex v) const;
+  Vertex component_median(Vertex v) const;
+  int64_t nearest_marked_distance(Vertex v) const;
+
+  // --- Introspection ---------------------------------------------------------
+  size_t memory_bytes() const;
+  size_t height(Vertex v) const;
+  bool check_valid() const;
+  // Recomputes every cluster's aggregates bottom-up and compares with the
+  // maintained values; returns false (and reports) on any divergence.
+  bool check_aggregates();
+
+ protected:
+  explicit UfoCore(size_t n);
+
+  struct Adj {
+    uint32_t nbr = 0;
+    Vertex my_end = kNoVertex;
+    Vertex other_end = kNoVertex;
+    Weight w = 0;
+  };
+
+  struct Cluster {
+    uint32_t parent = 0;
+    uint32_t pos_in_parent = 0;  // index in parent's children vector
+    int32_t level = 0;
+    Vertex leaf_vertex = kNoVertex;
+    uint32_t center_child = 0;  // nonzero => superunary (high-degree) merge
+    std::vector<Adj> nbrs;
+    std::vector<uint32_t> children;
+
+    // Merge edge for fanout-2 pair merges (center_child == 0 only).
+    Vertex merge_u = kNoVertex;  // inside children[0]
+    Vertex merge_v = kNoVertex;  // inside children[1]
+    Weight merge_w = 0;
+
+    // Aggregates (identical layout to TopologyTree; see topology_tree.h).
+    uint32_t n_verts = 1;
+    Weight sub_sum = 0;
+    Weight path_sum = 0;
+    Weight path_max = kNegInf;
+    int64_t path_len = 0;
+    Vertex bv[2] = {kNoVertex, kNoVertex};
+    int64_t max_dist[2] = {0, 0};
+    int64_t sum_dist[2] = {0, 0};
+    int64_t marked_dist[2] = {kInf, kInf};
+    int64_t diam = 0;
+    uint32_t marked_count = 0;
+
+    // --- Incremental rake index (superunary clusters only) ---------------
+    // Keeping non-invertible aggregates O(log) under single rake
+    // attach/detach, standing in for the paper's rank trees (Section 4.2):
+    // multisets index the rake contributions; running totals cover the
+    // invertible parts; each rake caches the contribution it last added.
+    bool rake_index_valid = false;
+    std::multiset<int64_t> rake_depths;   // 1 + rake.max_dist
+    std::multiset<int64_t> rake_marks;    // 1 + rake.marked_dist (finite only)
+    std::multiset<int64_t> rake_diams;    // rake.diam
+    Weight rake_sub_total = 0;
+    int64_t rake_sumdist_total = 0;
+    uint32_t rake_nverts_total = 0;
+    uint32_t rake_marked_total = 0;
+
+    // Cached contribution this cluster last pushed into its parent's index
+    // (meaningful only while it is a rake child of a superunary parent).
+    int64_t contrib_depth = 0;
+    int64_t contrib_mark = 0;
+    int64_t contrib_diam = 0;
+    Weight contrib_sub = 0;
+    int64_t contrib_sumdist = 0;
+    uint32_t contrib_nverts = 0;
+    uint32_t contrib_marked = 0;
+  };
+
+  static constexpr Weight kNegInf = INT64_MIN / 4;
+  static constexpr int64_t kInf = INT64_MAX / 4;
+  static constexpr int32_t kFreedLevel = -1;
+
+  uint32_t leaf_id(Vertex v) const { return v + 1; }
+  uint32_t alloc_cluster(int32_t level);
+  void free_cluster(uint32_t c);
+  // recycle + mark freed without touching the free list (bulk teardown from
+  // parallel phases recycles concurrently, then appends ids serially).
+  void reset_cluster(uint32_t c);
+  bool alive(uint32_t c) const { return clusters_[c].level >= 0; }
+
+  size_t cluster_degree(uint32_t c) const { return clusters_[c].nbrs.size(); }
+  size_t fanout(uint32_t c) const { return clusters_[c].children.size(); }
+  bool adj_contains(uint32_t c, uint32_t d) const;
+  const Adj* adj_find(uint32_t c, uint32_t d) const;
+  void adj_remove(uint32_t c, uint32_t d);
+
+  uint32_t tree_root(Vertex v) const;
+  // children bookkeeping with O(1) positional removal (superunary clusters
+  // can have Theta(n) children; a linear scan per detach would be O(n^2)
+  // over a star teardown).
+  void add_child(uint32_t p, uint32_t c);
+  void remove_child(uint32_t p, uint32_t c);
+
+  void refresh_leaf(uint32_t leaf);
+  void recompute_aggregates(uint32_t p);
+  // Incremental rake-index maintenance (O(log fanout) each).
+  void rake_index_add(uint32_t p, uint32_t r);
+  void rake_index_remove(uint32_t p, uint32_t r);
+  // Recompute p's aggregates from the valid rake index + fresh center
+  // values, without touching the rake children.
+  void recompute_from_rake_index(uint32_t p);
+  // Recompute c and every ancestor, refreshing c's (and each ancestor's)
+  // cached contribution in superunary parents' rake indexes on the way up.
+  void recompute_chain(uint32_t c);
+
+  struct RepPath {
+    Weight sum[2] = {0, 0};
+    Weight max[2] = {kNegInf, kNegInf};
+    int64_t len[2] = {0, 0};
+  };
+  RepPath climb_rep_path(Vertex from, uint32_t stop, uint32_t* child) const;
+  bool is_ancestor(uint32_t anc, uint32_t leaf) const;
+  uint32_t lca_cluster(uint32_t a, uint32_t b) const;
+  int boundary_slot(const Cluster& c, Vertex bv) const;
+  // Value of f from a climbed endpoint to the center vertex of the LCA's
+  // superunary merge (used by path queries at superunary LCA clusters).
+  // child = the LCA child on that endpoint's side.
+  void side_to_center(uint32_t lca, uint32_t child, const RepPath& rp,
+                      Weight* sum, Weight* mx, int64_t* len) const;
+
+  size_t n_;
+  // True during seq batch_update's deletion walk, where a doomed pair merge
+  // may be recomputed before its retirement (see recompute_aggregates).
+  bool batch_deleting_ = false;
+  std::vector<Cluster> clusters_;
+  std::vector<uint32_t> free_;
+  std::vector<Weight> vweight_;
+  std::vector<uint8_t> marked_;
+};
+
+}  // namespace ufo::core

@@ -53,6 +53,8 @@ class ConcurrentSet {
         }
         if (slots_[target].compare_exchange_strong(
                 expected, key, std::memory_order_acq_rel)) {
+          if (expected == kTombstone)
+            tombs_.fetch_sub(1, std::memory_order_relaxed);
           size_.fetch_add(1, std::memory_order_relaxed);
           return true;
         }
@@ -74,6 +76,7 @@ class ConcurrentSet {
         uint64_t expected = key;
         if (slots_[i].compare_exchange_strong(expected, kTombstone,
                                               std::memory_order_acq_rel)) {
+          tombs_.fetch_add(1, std::memory_order_relaxed);
           size_.fetch_sub(1, std::memory_order_relaxed);
           return true;
         }
@@ -96,18 +99,51 @@ class ConcurrentSet {
 
   size_t size() const { return size_.load(std::memory_order_relaxed); }
   size_t capacity() const { return slots_.size(); }
+  size_t tombstones() const { return tombs_.load(std::memory_order_relaxed); }
 
-  // Single-threaded (phase boundary): grow so that `n` keys fit with load
-  // factor <= 1/2, rehashing live keys and dropping tombstones.
-  void reserve(size_t n) {
+  // Largest representable table size (the top power of two of size_t).
+  // capacity_for() saturates here instead of overflowing; a reserve that
+  // saturates will fail to allocate long before correctness matters, but it
+  // fails loudly (bad_alloc) rather than looping on a zero-sized table.
+  static constexpr size_t kMaxCapacity = size_t{1}
+                                         << (8 * sizeof(size_t) - 1);
+
+  // Slot count needed to hold `live + extra` keys at load factor <= 1/2:
+  // the smallest power of two >= 2 * (live + extra + 1), clamped to
+  // kMaxCapacity. Overflow-safe: `want / 2 <= need` is equivalent to
+  // `want < 2 * (need + 1)` for powers of two without ever multiplying.
+  static constexpr size_t capacity_for(size_t live, size_t extra) {
+    size_t need = live < SIZE_MAX - extra ? live + extra : SIZE_MAX;
     size_t want = 16;
-    while (want < 2 * (n + 1)) want <<= 1;
-    if (want <= slots_.size() && 2 * (size() + n) <= slots_.size()) return;
+    while (want < kMaxCapacity && want / 2 <= need) want <<= 1;
+    return want;
+  }
+
+  // Single-threaded (phase boundary): grow so that `n` *additional* keys fit
+  // on top of the current live set with load factor <= 1/2, rehashing live
+  // keys and dropping tombstones. Sizing must count live keys: a request
+  // smaller than size() would otherwise rehash the live set into a table it
+  // cannot fit (load factor >= 1), and the next insert would spin forever on
+  // a full probe chain. Tombstones count toward occupancy too — every probe
+  // loop terminates only on a kEmpty slot, and outside a rehash a tombstone
+  // never reverts to empty, so sustained insert/erase churn at stable live
+  // size would otherwise consume every empty slot and wedge the next
+  // absent-key probe. Rehashing (which drops them) whenever live +
+  // tombstones + n passes half the table keeps >= capacity/2 - n empty
+  // slots through any phase.
+  void reserve(size_t n) {
+    size_t want = capacity_for(size(), n);
+    // In this branch want <= capacity, so size() + n <= capacity/2 and the
+    // occupancy sum below cannot overflow.
+    if (want <= slots_.size() &&
+        size() + tombstones() + n <= slots_.size() / 2)
+      return;  // roomy enough, even counting tombstoned slots
     std::vector<uint64_t> live = elements();
     std::vector<std::atomic<uint64_t>> fresh(want);
     slots_.swap(fresh);
     for (auto& s : slots_) s.store(kEmpty, std::memory_order_relaxed);
     size_.store(0, std::memory_order_relaxed);
+    tombs_.store(0, std::memory_order_relaxed);
     for (uint64_t k : live) insert(k);
   }
 
@@ -134,6 +170,7 @@ class ConcurrentSet {
   void clear() {
     for (auto& s : slots_) s.store(kEmpty, std::memory_order_relaxed);
     size_.store(0, std::memory_order_relaxed);
+    tombs_.store(0, std::memory_order_relaxed);
   }
 
   size_t memory_bytes() const {
@@ -147,10 +184,12 @@ class ConcurrentSet {
       slots_[i].store(other.slots_[i].load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     size_.store(other.size(), std::memory_order_relaxed);
+    tombs_.store(other.tombstones(), std::memory_order_relaxed);
   }
 
   std::vector<std::atomic<uint64_t>> slots_;
   std::atomic<size_t> size_{0};
+  std::atomic<size_t> tombs_{0};
 };
 
 }  // namespace ufo::par

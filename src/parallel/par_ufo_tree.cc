@@ -1,0 +1,275 @@
+// Parallel batch-dynamic UFO tree updates: level-synchronous teardown and
+// reclustering of the affected components (Section 5). Queries and
+// aggregate maintenance are inherited from core::UfoCore.
+#include "parallel/par_ufo_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/hash_table.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "util/random.h"
+
+namespace ufo::par {
+
+UfoTree::UfoTree(size_t n) : core::UfoCore(n) {}
+
+void UfoTree::link(Vertex u, Vertex v, Weight w) {
+  assert(u != v && !connected(u, v));
+  batch_update({{u, v, w, false}});
+}
+
+void UfoTree::cut(Vertex u, Vertex v) {
+  assert(has_edge(u, v));
+  batch_update({{u, v, 0, true}});
+}
+
+void UfoTree::batch_link(const std::vector<Edge>& edges) {
+  std::vector<Update> batch(edges.size());
+  parallel_for(0, edges.size(), [&](size_t i) {
+    batch[i] = {edges[i].u, edges[i].v, edges[i].w, false};
+  });
+  batch_update(batch);
+}
+
+void UfoTree::batch_cut(const std::vector<Edge>& edges) {
+  std::vector<Update> batch(edges.size());
+  parallel_for(0, edges.size(), [&](size_t i) {
+    batch[i] = {edges[i].u, edges[i].v, edges[i].w, true};
+  });
+  batch_update(batch);
+}
+
+void UfoTree::batch_update(const std::vector<Update>& batch) {
+  if (batch.empty()) return;
+  // Root collection must precede the teardown (it climbs the old
+  // hierarchy), and the teardown must precede the leaf updates only because
+  // both are cheaper that way round — they touch disjoint state (parent
+  // pointers vs leaf adjacency).
+  std::vector<Vertex> endpoints(2 * batch.size());
+  parallel_for(0, batch.size(), [&](size_t i) {
+    endpoints[2 * i] = batch[i].u;
+    endpoints[2 * i + 1] = batch[i].v;
+  });
+  std::vector<uint32_t> roots = affected_roots(endpoints);
+  std::vector<uint32_t> frontier = collect_affected(roots);
+  apply_leaf_updates(batch);
+  contract(std::move(frontier));
+}
+
+std::vector<uint32_t> UfoTree::affected_roots(
+    const std::vector<Vertex>& endpoints) {
+  // Phase-concurrent insert phase; the set dedupes components touched by
+  // many endpoints (the constructor's reserve sizes it for the whole batch
+  // before the concurrent phase starts).
+  ConcurrentSet set(endpoints.size());
+  parallel_for(0, endpoints.size(),
+               [&](size_t i) { set.insert(tree_root(endpoints[i])); });
+  std::vector<uint64_t> keys = set.elements();
+  std::vector<uint32_t> roots(keys.size());
+  parallel_for(0, keys.size(),
+               [&](size_t i) { roots[i] = static_cast<uint32_t>(keys[i]); });
+  return roots;
+}
+
+std::vector<uint32_t> UfoTree::collect_affected(
+    const std::vector<uint32_t>& roots) {
+  std::vector<uint32_t> leaves;
+  std::vector<uint32_t> doomed;
+  std::vector<uint32_t> wave = roots;
+  while (!wave.empty()) {
+    // Flatten this wave's children via prefix sums (each cluster has one
+    // parent, so waves never revisit a cluster).
+    std::vector<size_t> off(wave.size());
+    parallel_for(0, wave.size(), [&](size_t i) {
+      off[i] = clusters_[wave[i]].children.size();
+    });
+    size_t total = scan_exclusive(off);
+    std::vector<uint32_t> next(total);
+    parallel_for(0, wave.size(), [&](size_t i) {
+      const auto& kids = clusters_[wave[i]].children;
+      std::copy(kids.begin(), kids.end(), next.begin() + off[i]);
+    });
+    auto is_leaf = [&](uint32_t c) { return clusters_[c].children.empty(); };
+    std::vector<uint32_t> lv = filter(wave, is_leaf);
+    std::vector<uint32_t> in =
+        filter(wave, [&](uint32_t c) { return !is_leaf(c); });
+    leaves.insert(leaves.end(), lv.begin(), lv.end());
+    doomed.insert(doomed.end(), in.begin(), in.end());
+    wave = std::move(next);
+  }
+  // Recycle concurrently (each task owns one cluster), then append the ids
+  // to the free list at the phase boundary.
+  parallel_for(0, doomed.size(), [&](size_t i) { reset_cluster(doomed[i]); });
+  free_.insert(free_.end(), doomed.begin(), doomed.end());
+  parallel_for(0, leaves.size(),
+               [&](size_t i) { clusters_[leaves[i]].parent = 0; });
+  return leaves;
+}
+
+void UfoTree::apply_leaf_updates(const std::vector<Update>& batch) {
+  // Each update touches both endpoints' adjacency lists; semisort by
+  // endpoint so exactly one task owns each leaf.
+  std::vector<std::pair<Vertex, uint32_t>> byv(2 * batch.size());
+  parallel_for(0, batch.size(), [&](size_t i) {
+    byv[2 * i] = {batch[i].u, static_cast<uint32_t>(i)};
+    byv[2 * i + 1] = {batch[i].v, static_cast<uint32_t>(i)};
+  });
+  auto groups = group_by_key(byv);
+  parallel_for(0, groups.size(), [&](size_t g) {
+    auto [begin, end] = groups[g];
+    Vertex x = byv[begin].first;
+    uint32_t lx = leaf_id(x);
+    for (size_t i = begin; i < end; ++i) {
+      const Update& up = batch[byv[i].second];
+      assert(up.u != up.v && "self-loop in batch");
+      Vertex y = (up.u == x) ? up.v : up.u;
+      uint32_t ly = leaf_id(y);
+      if (up.is_delete) {
+        assert(adj_contains(lx, ly) && "batch deletes a missing edge");
+        adj_remove(lx, ly);
+      } else {
+        assert(!adj_contains(lx, ly) && "batch inserts a present edge");
+        clusters_[lx].nbrs.push_back({ly, x, y, up.w});
+      }
+    }
+    refresh_leaf(lx);
+  });
+}
+
+void UfoTree::contract(std::vector<uint32_t> frontier) {
+  while (true) {
+    // Completed tree roots (degree 0) stay parentless and drop out.
+    frontier = filter(frontier, [&](uint32_t c) {
+      return !clusters_[c].nbrs.empty();
+    });
+    if (frontier.empty()) break;
+    size_t m = frontier.size();
+    int32_t lvl = clusters_[frontier[0]].level;
+    if (state_.size() < clusters_.size()) state_.resize(clusters_.size());
+    if (proposal_.size() < clusters_.size())
+      proposal_.resize(clusters_.size());
+    parallel_for(0, m, [&](size_t i) { state_[frontier[i]] = kFree; });
+
+    // Phase A roles: every high-degree cluster becomes the center of a
+    // superunary merge; each degree-1 cluster next to one is its rake (a
+    // degree-1 cluster has a unique neighbor, so no two centers contend).
+    parallel_for(0, m, [&](size_t i) {
+      uint32_t c = frontier[i];
+      if (clusters_[c].nbrs.size() >= 3) state_[c] = kCenter;
+    });
+    parallel_for(0, m, [&](size_t i) {
+      uint32_t c = frontier[i];
+      if (clusters_[c].nbrs.size() == 1 &&
+          clusters_[clusters_[c].nbrs[0].nbr].nbrs.size() >= 3)
+        state_[c] = kRaked;
+    });
+
+    // Phase B: randomized mutual-proposal matching over the remaining
+    // degree <= 2 clusters (their eligible subgraph is a disjoint union of
+    // paths — a contracted forest has no cycles). Each round, every
+    // unmatched eligible cluster proposes to its eligible neighbor with the
+    // highest salted hash; mutual proposals pair up. The hash-maximal
+    // eligible cluster with an eligible neighbor always lands a mutual
+    // proposal, so a round with no new pairs proves the eligible edge set
+    // empty; random salts pair an expected constant fraction per round.
+    std::vector<uint32_t> pairs;  // anchors; partner = proposal_[anchor]
+    std::vector<uint32_t> active = filter(
+        frontier, [&](uint32_t c) { return state_[c] == kFree; });
+    while (!active.empty()) {
+      uint64_t salt = util::hash64(round_salt_++);
+      auto rank = [&](uint32_t d) { return util::hash64(salt ^ d); };
+      parallel_for(0, active.size(), [&](size_t i) {
+        uint32_t c = active[i];
+        uint32_t best = 0;
+        uint64_t besth = 0;
+        for (const Adj& a : clusters_[c].nbrs) {
+          uint32_t d = a.nbr;
+          if (state_[d] != kFree) continue;
+          uint64_t h = rank(d);
+          if (best == 0 || h > besth || (h == besth && d > best)) {
+            best = d;
+            besth = h;
+          }
+        }
+        proposal_[c] = best;  // 0 = no eligible neighbor
+      });
+      std::vector<uint32_t> fresh = filter(active, [&](uint32_t c) {
+        uint32_t d = proposal_[c];
+        return d != 0 && proposal_[d] == c && c < d;
+      });
+      if (fresh.empty()) break;  // no eligible edges remain (see above)
+      parallel_for(0, fresh.size(), [&](size_t i) {
+        uint32_t c = fresh[i];
+        state_[c] = kPaired;
+        state_[proposal_[c]] = kPaired;  // distinct pairs: disjoint writes
+      });
+      pairs.insert(pairs.end(), fresh.begin(), fresh.end());
+      active = filter(active, [&](uint32_t c) { return state_[c] == kFree; });
+    }
+
+    std::vector<uint32_t> centers = filter(
+        frontier, [&](uint32_t c) { return state_[c] == kCenter; });
+    std::vector<uint32_t> singles = filter(
+        frontier, [&](uint32_t c) { return state_[c] == kFree; });
+
+    // Allocate the level's parents at the phase boundary (the pool is
+    // sequential), then build them concurrently — each task owns one parent
+    // and its children, so all writes are disjoint.
+    size_t nc = centers.size(), np = pairs.size(), ns = singles.size();
+    std::vector<uint32_t> parents(nc + np + ns);
+    for (size_t i = 0; i < parents.size(); ++i)
+      parents[i] = alloc_cluster(lvl + 1);
+    parallel_for(0, parents.size(), [&](size_t i) {
+      uint32_t p = parents[i];
+      if (i < nc) {
+        uint32_t c = centers[i];
+        clusters_[p].center_child = c;
+        add_child(p, c);
+        for (const Adj& a : clusters_[c].nbrs)
+          if (state_[a.nbr] == kRaked) add_child(p, a.nbr);
+      } else if (i < nc + np) {
+        uint32_t c = pairs[i - nc];
+        uint32_t d = proposal_[c];  // stable: c left `active` when paired
+        const Adj* a = adj_find(c, d);
+        assert(a != nullptr);
+        add_child(p, c);
+        add_child(p, d);
+        clusters_[p].merge_u = a->my_end;
+        clusters_[p].merge_v = a->other_end;
+        clusters_[p].merge_w = a->w;
+      } else {
+        add_child(p, singles[i - nc - np]);
+      }
+    });
+
+    // Level l+1 adjacency: project each child edge through the parent map.
+    // Every neighbor has a parent by now (degree >= 1 clusters always get
+    // one), and a forest has at most one edge between two parents' contents,
+    // so no dedupe pass is needed (the assert guards the batch contract —
+    // a cycle in the batch would surface here as a duplicate).
+    parallel_for(0, parents.size(), [&](size_t i) {
+      uint32_t p = parents[i];
+      Cluster& pc = clusters_[p];
+      for (uint32_t c : pc.children) {
+        for (const Adj& a : clusters_[c].nbrs) {
+          uint32_t q = clusters_[a.nbr].parent;
+          assert(q != 0 && "neighbor must have been reclustered");
+          if (q == p) continue;  // merge or rake edge: now internal
+          assert(!adj_contains(p, q) &&
+                 "duplicate projected edge: cycle in the batch?");
+          pc.nbrs.push_back({q, a.my_end, a.other_end, a.w});
+        }
+      }
+    });
+
+    // Aggregates: children and adjacency are final; one task per parent.
+    parallel_for(0, parents.size(),
+                 [&](size_t i) { recompute_aggregates(parents[i]); });
+
+    frontier = std::move(parents);
+  }
+}
+
+}  // namespace ufo::par

@@ -1,0 +1,86 @@
+// par::UfoTree — the parallel batch-dynamic UFO tree (Section 5).
+//
+// Same cluster hierarchy and query suite as seq::UfoTree (both derive from
+// core::UfoCore), but batch_link / batch_cut / batch_update run the
+// level-synchronous parallel algorithm on the fork-join runtime:
+//
+//   1. Leaf phase: the batch's endpoint set and the affected component
+//      roots are collected into phase-concurrent ConcurrentSets, and the
+//      (mutually independent) edge updates are applied to leaf adjacency in
+//      parallel, one task per endpoint group (par::group_by_key).
+//   2. Teardown: the affected components' internal clusters are collected
+//      level by level (parallel frontier expansion with a prefix-sum
+//      flatten) and recycled; their leaves become the level-0 frontier.
+//   3. Per-level rounds: each level's frontier is reclustered concurrently —
+//      phase A gives every high-degree cluster a superunary parent that
+//      rakes in all of its degree-1 neighbors; phase B pairs the remaining
+//      degree <= 2 clusters with a randomized mutual-proposal matching
+//      (rounds of parallel propose/accept until the eligible edge set is
+//      exhausted — each round pairs a constant expected fraction, so a
+//      level finishes in O(log) rounds w.h.p.); leftovers get fanout-1
+//      parents. New parents then build their adjacency and recompute their
+//      aggregates concurrently (disjoint writes: each task owns one parent
+//      and its children).
+//
+// Affected granularity is the *component*: a batch rebuilds every component
+// it touches, so a batch of k updates costs O(sum of affected component
+// sizes) work at O(height x rounds) depth, against the sequential
+// structure's O(k x height) pointer-chasing. That is the paper's target
+// regime — large batches on big forests — and the tradeoff this backend
+// makes: single link()/cut() (batches of one) cost O(component), so latency-
+// sensitive single-update workloads should keep using seq::UfoTree (the
+// README's backend matrix spells this out). Finer-than-component affected
+// sets are an open item in ROADMAP.md.
+//
+// Determinism: results (query answers) are deterministic; the concrete
+// cluster ids/shape may vary run to run with thread interleaving, since
+// phase-concurrent set iteration order feeds the contraction. All
+// structural invariants hold regardless (tests run check_valid /
+// check_aggregates at 1, 2, and max workers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ufo_core.h"
+#include "graph/forest.h"
+
+namespace ufo::par {
+
+class UfoTree : public core::UfoCore {
+ public:
+  explicit UfoTree(size_t n);
+
+  // Single updates are batches of one: correct, but O(component) — see the
+  // header comment for when to prefer seq::UfoTree.
+  void link(Vertex u, Vertex v, Weight w = 1);
+  void cut(Vertex u, Vertex v);
+
+  // Batch-dynamic updates (Section 5 contract, same as seq::UfoTree): at
+  // most one update per edge, and every ordering of the batch must be a
+  // valid update sequence.
+  void batch_update(const std::vector<Update>& batch);
+  void batch_link(const std::vector<Edge>& edges);
+  void batch_cut(const std::vector<Edge>& edges);
+
+ private:
+  // Per-level contraction role of a frontier cluster.
+  enum : uint8_t { kFree = 0, kCenter = 1, kRaked = 2, kPaired = 3 };
+
+  // Distinct tree roots (old hierarchy) of the batch endpoints.
+  std::vector<uint32_t> affected_roots(const std::vector<Vertex>& endpoints);
+  // Free all internal clusters under `roots`; returns their leaves, each
+  // re-rooted (parent = 0).
+  std::vector<uint32_t> collect_affected(const std::vector<uint32_t>& roots);
+  // Apply the batch to leaf adjacency, one parallel task per endpoint.
+  void apply_leaf_updates(const std::vector<Update>& batch);
+  // Level-synchronous parallel reclustering of the torn-down region.
+  void contract(std::vector<uint32_t> frontier);
+
+  std::vector<uint8_t> state_;      // per-cluster contraction role scratch
+  std::vector<uint32_t> proposal_;  // per-cluster proposed partner scratch
+  uint64_t round_salt_ = 0x243f6a8885a308d3ULL;  // pairing round seed
+};
+
+}  // namespace ufo::par

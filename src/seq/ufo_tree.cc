@@ -1,7 +1,8 @@
-// UFO tree core: cluster pool, Algorithm 1 (DeleteAncestors with the
+// Sequential UFO tree updates: Algorithm 1 (DeleteAncestors with the
 // high-degree / high-fanout survival guard), Algorithm 2 (update with
-// high-degree reclustering), multi-level edge walks, and aggregate
-// maintenance. Queries live in ufo_queries.cc.
+// high-degree reclustering), multi-level edge walks, and the
+// shared-reclustering batch variant. The cluster pool, aggregate
+// maintenance, and queries live in core::UfoCore (src/core/ufo_core.cc).
 #include "seq/ufo_tree.h"
 
 #include <algorithm>
@@ -12,7 +13,6 @@
 namespace ufo::seq {
 
 namespace {
-constexpr int32_t kFreedLevel = -1;
 bool trace_enabled() { return std::getenv("UFO_TRACE") != nullptr; }
 #define UFO_TRACE(...) \
   do { \
@@ -20,101 +20,7 @@ bool trace_enabled() { return std::getenv("UFO_TRACE") != nullptr; }
   } while (0)
 }
 
-UfoTree::UfoTree(size_t n) : n_(n), vweight_(n, 1), marked_(n, 0) {
-  clusters_.resize(n + 1);
-  for (Vertex v = 0; v < n; ++v) {
-    Cluster& c = clusters_[leaf_id(v)];
-    c.leaf_vertex = v;
-    c.level = 0;
-    refresh_leaf(leaf_id(v));
-  }
-  roots_.resize(1);
-}
-
-void UfoTree::refresh_leaf(uint32_t leaf) {
-  Cluster& c = clusters_[leaf];
-  Vertex v = c.leaf_vertex;
-  c.n_verts = 1;
-  c.sub_sum = vweight_[v];
-  c.path_sum = 0;
-  c.path_max = kNegInf;
-  c.path_len = 0;
-  c.bv[0] = c.nbrs.empty() ? kNoVertex : v;
-  c.bv[1] = kNoVertex;
-  c.max_dist[0] = c.max_dist[1] = 0;
-  c.sum_dist[0] = c.sum_dist[1] = 0;
-  c.marked_count = marked_[v] ? 1 : 0;
-  c.marked_dist[0] = c.marked_dist[1] = marked_[v] ? 0 : kInf;
-  c.diam = 0;
-}
-
-namespace {
-
-// Reset a cluster to its default-constructed state while recycling the
-// adjacency/children vector buffers — allocs/frees of pooled clusters are
-// on the per-update hot path, and dropping the capacity each time turns
-// every link/cut into several round trips to the allocator.
-template <class ClusterT>
-void recycle(ClusterT& c) {
-  auto nbrs = std::move(c.nbrs);
-  auto children = std::move(c.children);
-  nbrs.clear();
-  children.clear();
-  c = ClusterT{};
-  c.nbrs = std::move(nbrs);
-  c.children = std::move(children);
-}
-
-}  // namespace
-
-uint32_t UfoTree::alloc_cluster(int32_t level) {
-  uint32_t id;
-  if (!free_.empty()) {
-    id = free_.back();
-    free_.pop_back();
-    recycle(clusters_[id]);
-  } else {
-    id = static_cast<uint32_t>(clusters_.size());
-    clusters_.emplace_back();
-  }
-  clusters_[id].level = level;
-  return id;
-}
-
-void UfoTree::free_cluster(uint32_t c) {
-  recycle(clusters_[c]);
-  clusters_[c].level = kFreedLevel;
-  free_.push_back(c);
-}
-
-bool UfoTree::adj_contains(uint32_t c, uint32_t d) const {
-  for (const Adj& a : clusters_[c].nbrs)
-    if (a.nbr == d) return true;
-  return false;
-}
-
-const UfoTree::Adj* UfoTree::adj_find(uint32_t c, uint32_t d) const {
-  for (const Adj& a : clusters_[c].nbrs)
-    if (a.nbr == d) return &a;
-  return nullptr;
-}
-
-void UfoTree::adj_remove(uint32_t c, uint32_t d) {
-  auto& nbrs = clusters_[c].nbrs;
-  for (size_t i = 0; i < nbrs.size(); ++i) {
-    if (nbrs[i].nbr == d) {
-      nbrs[i] = nbrs.back();
-      nbrs.pop_back();
-      return;
-    }
-  }
-}
-
-uint32_t UfoTree::tree_root(Vertex v) const {
-  uint32_t c = leaf_id(v);
-  while (clusters_[c].parent != 0) c = clusters_[c].parent;
-  return c;
-}
+UfoTree::UfoTree(size_t n) : core::UfoCore(n) { roots_.resize(1); }
 
 void UfoTree::add_root(uint32_t c) {
   UFO_TRACE("  add_root %u (lvl %d)\n", c, clusters_[c].level);
@@ -124,31 +30,6 @@ void UfoTree::add_root(uint32_t c) {
 }
 
 void UfoTree::mark_dirty(uint32_t c) { dirty_.push_back(c); }
-
-void UfoTree::add_child(uint32_t p, uint32_t c) {
-  clusters_[c].parent = p;
-  clusters_[c].pos_in_parent =
-      static_cast<uint32_t>(clusters_[p].children.size());
-  clusters_[p].children.push_back(c);
-}
-
-void UfoTree::remove_child(uint32_t p, uint32_t c) {
-  auto& kids = clusters_[p].children;
-  uint32_t idx = clusters_[c].pos_in_parent;
-  assert(idx < kids.size() && kids[idx] == c);
-  uint32_t last = kids.back();
-  kids[idx] = last;
-  clusters_[last].pos_in_parent = idx;
-  kids.pop_back();
-}
-
-size_t UfoTree::degree(Vertex v) const {
-  return clusters_[leaf_id(v)].nbrs.size();
-}
-
-bool UfoTree::has_edge(Vertex u, Vertex v) const {
-  return adj_contains(leaf_id(u), leaf_id(v));
-}
 
 // Algorithm 1. Walks the ancestor path of c. Low-degree/low-fanout
 // ancestors are deleted (children become root clusters); surviving
@@ -425,16 +306,6 @@ void UfoTree::batch_cut(const std::vector<Edge>& edges) {
   batch_update(batch);
 }
 
-void UfoTree::set_vertex_weight(Vertex v, Weight w) {
-  vweight_[v] = w;
-  recompute_chain(leaf_id(v));
-}
-
-void UfoTree::set_mark(Vertex v, bool m) {
-  marked_[v] = m ? 1 : 0;
-  recompute_chain(leaf_id(v));
-}
-
 // Algorithm 2, lines 3-40: recluster level by level. Phase A gives every
 // high-degree root cluster a parent and rakes in all of its degree-1
 // neighbors; phase B pairs the remaining degree <= 2 root clusters.
@@ -667,389 +538,6 @@ void UfoTree::flush_dirty() {
     recompute_chain(c);
   }
   dirty_.clear();
-}
-
-void UfoTree::recompute_chain(uint32_t c) {
-  uint32_t cur = c;
-  while (cur != 0) {
-    recompute_aggregates(cur);
-    uint32_t par = clusters_[cur].parent;
-    if (par != 0) {
-      Cluster& pp = clusters_[par];
-      if (pp.center_child != 0 && pp.center_child != cur &&
-          pp.rake_index_valid) {
-        // cur is a rake whose values changed: refresh its index entry.
-        rake_index_remove(par, cur);
-        rake_index_add(par, cur);
-      }
-    }
-    cur = par;
-  }
-}
-
-int UfoTree::boundary_slot(const Cluster& c, Vertex bv) const {
-  if (c.bv[0] == bv) return 0;
-  if (c.bv[1] == bv) return 1;
-  return -1;
-}
-
-// Contribution of rake r hanging off the center vertex (depth includes the
-// rake edge hop). Caches the values on r so removal is exact.
-void UfoTree::rake_index_add(uint32_t p, uint32_t r) {
-  Cluster& pc = clusters_[p];
-  Cluster& rc = clusters_[r];
-  int sr = boundary_slot(rc, rc.nbrs.empty() ? kNoVertex : rc.nbrs[0].my_end);
-  rc.contrib_depth = 1 + (sr >= 0 ? rc.max_dist[sr] : 0);
-  rc.contrib_mark =
-      sr >= 0 && rc.marked_dist[sr] < kInf ? 1 + rc.marked_dist[sr] : kInf;
-  rc.contrib_diam = rc.diam;
-  rc.contrib_sub = rc.sub_sum;
-  rc.contrib_sumdist = (sr >= 0 ? rc.sum_dist[sr] : 0) + rc.sub_sum;
-  rc.contrib_nverts = rc.n_verts;
-  rc.contrib_marked = rc.marked_count;
-  pc.rake_depths.insert(rc.contrib_depth);
-  if (rc.contrib_mark < kInf) pc.rake_marks.insert(rc.contrib_mark);
-  pc.rake_diams.insert(rc.contrib_diam);
-  pc.rake_sub_total += rc.contrib_sub;
-  pc.rake_sumdist_total += rc.contrib_sumdist;
-  pc.rake_nverts_total += rc.contrib_nverts;
-  pc.rake_marked_total += rc.contrib_marked;
-}
-
-void UfoTree::rake_index_remove(uint32_t p, uint32_t r) {
-  Cluster& pc = clusters_[p];
-  const Cluster& rc = clusters_[r];
-  auto erase_one = [](std::multiset<int64_t>& ms, int64_t v) {
-    auto it = ms.find(v);
-    assert(it != ms.end());
-    ms.erase(it);
-  };
-  erase_one(pc.rake_depths, rc.contrib_depth);
-  if (rc.contrib_mark < kInf) erase_one(pc.rake_marks, rc.contrib_mark);
-  erase_one(pc.rake_diams, rc.contrib_diam);
-  pc.rake_sub_total -= rc.contrib_sub;
-  pc.rake_sumdist_total -= rc.contrib_sumdist;
-  pc.rake_nverts_total -= rc.contrib_nverts;
-  pc.rake_marked_total -= rc.contrib_marked;
-}
-
-// O(log fanout) aggregate refresh for a superunary cluster whose rake index
-// is current: rake contributions come from the index, the center's from its
-// live fields.
-void UfoTree::recompute_from_rake_index(uint32_t p) {
-  Cluster& pc = clusters_[p];
-  const Cluster& x = clusters_[pc.center_child];
-  Vertex b = x.bv[0];
-  int sx = boundary_slot(x, b);
-  if (sx < 0) sx = 0;  // degraded center mid-update; repaired by the walks
-  pc.bv[0] = pc.nbrs.empty() ? kNoVertex : b;
-  pc.bv[1] = kNoVertex;
-  pc.n_verts = x.n_verts + pc.rake_nverts_total;
-  pc.sub_sum = x.sub_sum + pc.rake_sub_total;
-  pc.marked_count = x.marked_count + pc.rake_marked_total;
-  int64_t rake_max = pc.rake_depths.empty() ? -1 : *pc.rake_depths.rbegin();
-  int64_t maxd = std::max<int64_t>(x.max_dist[sx], rake_max);
-  pc.max_dist[0] = maxd;
-  pc.max_dist[1] = 0;
-  pc.sum_dist[0] = x.sum_dist[sx] + pc.rake_sumdist_total;
-  pc.sum_dist[1] = 0;
-  int64_t markd = x.marked_dist[sx];
-  if (!pc.rake_marks.empty())
-    markd = std::min(markd, *pc.rake_marks.begin());
-  pc.marked_dist[0] = markd;
-  pc.marked_dist[1] = kInf;
-  // Diameter: child diameters plus the two deepest branches through b.
-  int64_t dm = x.diam;
-  if (!pc.rake_diams.empty())
-    dm = std::max(dm, *pc.rake_diams.rbegin());
-  // Two deepest branches through b: the center's content is one branch
-  // (depth >= 0), the two deepest rakes are the other candidates.
-  int64_t c0 = x.max_dist[sx];
-  auto it = pc.rake_depths.rbegin();
-  if (it != pc.rake_depths.rend()) {
-    int64_t r1 = *it;
-    ++it;
-    int64_t r2 = it != pc.rake_depths.rend() ? *it : -1;
-    dm = std::max(dm, c0 + r1);
-    if (r2 >= 0) dm = std::max(dm, r1 + r2);
-  }
-  pc.diam = dm;
-  pc.path_sum = 0;
-  pc.path_max = kNegInf;
-  pc.path_len = 0;
-  if (pc.bv[0] == kNoVertex) {
-    pc.max_dist[0] = 0;
-    pc.sum_dist[0] = 0;
-    pc.marked_dist[0] = kInf;
-  }
-}
-
-void UfoTree::recompute_aggregates(uint32_t p) {
-  Cluster& pc = clusters_[p];
-  if (pc.children.empty()) {  // leaf cluster
-    refresh_leaf(p);
-    return;
-  }
-  pc.bv[0] = pc.bv[1] = kNoVertex;
-  for (const Adj& a : pc.nbrs) {
-    if (pc.bv[0] == kNoVertex || pc.bv[0] == a.my_end) {
-      pc.bv[0] = a.my_end;
-    } else if (pc.bv[1] == kNoVertex || pc.bv[1] == a.my_end) {
-      pc.bv[1] = a.my_end;
-    } else {
-      assert(false && "cluster has >2 distinct boundary vertices");
-    }
-  }
-  if (pc.center_child != 0) {  // superunary (high-degree) merge
-    if (!pc.rake_index_valid) {
-      pc.rake_depths.clear();
-      pc.rake_marks.clear();
-      pc.rake_diams.clear();
-      pc.rake_sub_total = 0;
-      pc.rake_sumdist_total = 0;
-      pc.rake_nverts_total = 0;
-      pc.rake_marked_total = 0;
-      for (uint32_t c : pc.children) {
-        if (c == pc.center_child) continue;
-        rake_index_add(p, c);
-      }
-      pc.rake_index_valid = true;
-    }
-    recompute_from_rake_index(p);
-    return;
-  }
-  if (pc.children.size() == 1) {
-    const Cluster& c = clusters_[pc.children[0]];
-    pc.n_verts = c.n_verts;
-    pc.sub_sum = c.sub_sum;
-    pc.marked_count = c.marked_count;
-    pc.path_sum = c.path_sum;
-    pc.path_max = c.path_max;
-    pc.path_len = c.path_len;
-    pc.diam = c.diam;
-    for (int i = 0; i < 2; ++i) {
-      if (pc.bv[i] == kNoVertex) {
-        pc.max_dist[i] = 0;
-        pc.sum_dist[i] = 0;
-        pc.marked_dist[i] = kInf;
-        continue;
-      }
-      int j = boundary_slot(c, pc.bv[i]);
-      assert(j >= 0);
-      pc.max_dist[i] = c.max_dist[j];
-      pc.sum_dist[i] = c.sum_dist[j];
-      pc.marked_dist[i] = c.marked_dist[j];
-    }
-    return;
-  }
-  // Pair merge (fanout 2, merge edge recorded).
-  assert(pc.children.size() == 2);
-  const Cluster& a = clusters_[pc.children[0]];
-  const Cluster& b = clusters_[pc.children[1]];
-  pc.n_verts = a.n_verts + b.n_verts;
-  pc.sub_sum = a.sub_sum + b.sub_sum;
-  pc.marked_count = a.marked_count + b.marked_count;
-  int sa = boundary_slot(a, pc.merge_u);
-  int sb = boundary_slot(b, pc.merge_v);
-  if (sa < 0 || sb < 0) {
-    // The merge edge is gone from a child's boundary: a batched deletion
-    // removed it, but this cluster has not been retired yet (batch_update
-    // Phase 1 walks every deletion before any ancestor deletion runs, so a
-    // doomed pair can be recomputed mid-phase by a later walk in the same
-    // batch). Both merge endpoints are batch endpoints, so delete_ancestors
-    // retires this cluster before any query reads it; fill conservative
-    // aggregates instead of rejecting the batch. Outside that window a
-    // stale pair is a real invariant violation — keep the debug trap.
-    assert(batch_deleting_ && "stale pair merge outside batch Phase 1");
-    pc.diam = std::max(a.diam, b.diam);
-    for (int i = 0; i < 2; ++i) {
-      pc.max_dist[i] = 0;
-      pc.sum_dist[i] = 0;
-      pc.marked_dist[i] = kInf;
-    }
-    pc.path_sum = 0;
-    pc.path_max = kNegInf;
-    pc.path_len = 0;
-    return;
-  }
-  pc.diam = std::max({a.diam, b.diam, a.max_dist[sa] + 1 + b.max_dist[sb]});
-  for (int i = 0; i < 2; ++i) {
-    Vertex q = pc.bv[i];
-    if (q == kNoVertex) {
-      pc.max_dist[i] = 0;
-      pc.sum_dist[i] = 0;
-      pc.marked_dist[i] = kInf;
-      continue;
-    }
-    int qa = boundary_slot(a, q);
-    const Cluster& x = qa >= 0 ? a : b;
-    const Cluster& y = qa >= 0 ? b : a;
-    Vertex xe = qa >= 0 ? pc.merge_u : pc.merge_v;
-    Vertex ye = qa >= 0 ? pc.merge_v : pc.merge_u;
-    int sq = qa >= 0 ? qa : boundary_slot(b, q);
-    assert(sq >= 0);
-    int sye = boundary_slot(y, ye);
-    int64_t dq = (q == xe) ? 0 : x.path_len;
-    pc.max_dist[i] = std::max(x.max_dist[sq], dq + 1 + y.max_dist[sye]);
-    pc.sum_dist[i] = x.sum_dist[sq] + (dq + 1) * y.sub_sum + y.sum_dist[sye];
-    pc.marked_dist[i] =
-        std::min(x.marked_dist[sq],
-                 y.marked_dist[sye] >= kInf ? kInf : dq + 1 + y.marked_dist[sye]);
-  }
-  pc.path_sum = 0;
-  pc.path_max = kNegInf;
-  pc.path_len = 0;
-  if (pc.bv[0] != kNoVertex && pc.bv[1] != kNoVertex) {
-    int b0a = boundary_slot(a, pc.bv[0]);
-    int b1a = boundary_slot(a, pc.bv[1]);
-    if (b0a >= 0 && b1a >= 0) {
-      pc.path_sum = a.path_sum;
-      pc.path_max = a.path_max;
-      pc.path_len = a.path_len;
-    } else if (b0a < 0 && b1a < 0) {
-      pc.path_sum = b.path_sum;
-      pc.path_max = b.path_max;
-      pc.path_len = b.path_len;
-    } else {
-      Vertex qa2 = b0a >= 0 ? pc.bv[0] : pc.bv[1];
-      Vertex qb2 = b0a >= 0 ? pc.bv[1] : pc.bv[0];
-      Weight sum = pc.merge_w;
-      Weight mx = pc.merge_w;
-      int64_t len = 1;
-      if (qa2 != pc.merge_u) {
-        sum += a.path_sum;
-        mx = std::max(mx, a.path_max);
-        len += a.path_len;
-      }
-      if (qb2 != pc.merge_v) {
-        sum += b.path_sum;
-        mx = std::max(mx, b.path_max);
-        len += b.path_len;
-      }
-      pc.path_sum = sum;
-      pc.path_max = mx;
-      pc.path_len = len;
-    }
-  }
-}
-
-bool UfoTree::check_aggregates() {
-  std::vector<uint32_t> ids;
-  for (uint32_t id = 1; id < clusters_.size(); ++id)
-    if (clusters_[id].level > 0) ids.push_back(id);
-  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
-    return clusters_[a].level < clusters_[b].level;
-  });
-  bool ok = true;
-  for (uint32_t id : ids) {
-    Cluster saved = clusters_[id];
-    clusters_[id].rake_index_valid = false;  // verify incremental == full
-    recompute_aggregates(id);
-    const Cluster& c = clusters_[id];
-    if (saved.n_verts != c.n_verts || saved.sub_sum != c.sub_sum ||
-        saved.path_sum != c.path_sum || saved.path_max != c.path_max ||
-        saved.path_len != c.path_len || saved.diam != c.diam ||
-        saved.bv[0] != c.bv[0] || saved.bv[1] != c.bv[1] ||
-        saved.max_dist[0] != c.max_dist[0] ||
-        saved.max_dist[1] != c.max_dist[1] ||
-        saved.sum_dist[0] != c.sum_dist[0] ||
-        saved.marked_dist[0] != c.marked_dist[0] ||
-        saved.marked_count != c.marked_count) {
-      std::fprintf(stderr,
-                   "aggregate drift at cluster %u (level %d fanout %zu "
-                   "center %u): nv %u->%u psum %lld->%lld pmax %lld->%lld "
-                   "plen %lld->%lld diam %lld->%lld bv (%u,%u)->(%u,%u) "
-                   "maxd (%lld,%lld)->(%lld,%lld) sumd %lld->%lld "
-                   "markd %lld->%lld\n",
-                   id, c.level, c.children.size(), c.center_child,
-                   saved.n_verts, c.n_verts, (long long)saved.path_sum,
-                   (long long)c.path_sum, (long long)saved.path_max,
-                   (long long)c.path_max, (long long)saved.path_len,
-                   (long long)c.path_len, (long long)saved.diam,
-                   (long long)c.diam, saved.bv[0], saved.bv[1], c.bv[0],
-                   c.bv[1], (long long)saved.max_dist[0],
-                   (long long)saved.max_dist[1], (long long)c.max_dist[0],
-                   (long long)c.max_dist[1], (long long)saved.sum_dist[0],
-                   (long long)c.sum_dist[0], (long long)saved.marked_dist[0],
-                   (long long)c.marked_dist[0]);
-      ok = false;
-    }
-  }
-  return ok;
-}
-
-size_t UfoTree::height(Vertex v) const {
-  size_t h = 0;
-  for (uint32_t c = leaf_id(v); clusters_[c].parent != 0;
-       c = clusters_[c].parent)
-    ++h;
-  return h;
-}
-
-size_t UfoTree::memory_bytes() const {
-  size_t bytes = clusters_.capacity() * sizeof(Cluster) + sizeof(*this);
-  for (const Cluster& c : clusters_) {
-    bytes += c.nbrs.capacity() * sizeof(Adj);
-    bytes += c.children.capacity() * sizeof(uint32_t);
-  }
-  bytes += free_.capacity() * sizeof(uint32_t);
-  bytes += vweight_.capacity() * sizeof(Weight) + marked_.capacity();
-  return bytes;
-}
-
-bool UfoTree::check_valid() const {
-  for (uint32_t id = 1; id < clusters_.size(); ++id) {
-    const Cluster& c = clusters_[id];
-    if (c.level == kFreedLevel) continue;
-    for (uint32_t ch : c.children) {
-      if (clusters_[ch].parent != id) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 1, id); return false; }
-      if (clusters_[ch].level != c.level - 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 2, id); return false; }
-    }
-    for (const Adj& a : c.nbrs) {
-      if (!adj_contains(a.nbr, id)) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 3, id); return false; }
-      if (clusters_[a.nbr].level != c.level) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 4, id); return false; }
-    }
-    if (c.center_child != 0) {
-      // High-degree merge: every non-center child is a rake with a single
-      // edge to the center.
-      bool center_found = false;
-      for (uint32_t ch : c.children) {
-        if (ch == c.center_child) {
-          center_found = true;
-          continue;
-        }
-        const Cluster& r = clusters_[ch];
-        if (r.nbrs.size() != 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 5, id); return false; }
-        if (r.nbrs[0].nbr != c.center_child) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 6, id); return false; }
-      }
-      if (!center_found) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 7, id); return false; }
-    } else if (c.children.size() == 2) {
-      // Pair merge: children adjacent, degree sum <= 4 at merge time.
-      if (!adj_contains(c.children[0], c.children[1])) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 8, id); return false; }
-    } else if (c.children.size() > 2) {
-      { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 9, id); return false; }  // fanout >= 3 requires a center
-    }
-    // Maximality for root clusters.
-    if (c.parent == 0 && !c.nbrs.empty()) {
-      size_t d = c.nbrs.size();
-      for (const Adj& a : c.nbrs) {
-        const Cluster& y = clusters_[a.nbr];
-        size_t dy = y.nbrs.size();
-        bool allowed = (d + dy <= 4 && d <= 2 && dy <= 2) ||
-                       (d >= 3 && dy == 1) || (dy >= 3 && d == 1);
-        if (allowed && y.parent == 0) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 10, id); return false; }
-      }
-    }
-    // High-degree clusters merge with all their degree-1 neighbors.
-    if (c.nbrs.size() >= 3 && c.parent != 0) {
-      for (const Adj& a : c.nbrs) {
-        if (clusters_[a.nbr].nbrs.size() == 1 &&
-            clusters_[a.nbr].parent != c.parent)
-          { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 11, id); return false; }
-      }
-    }
-  }
-  return true;
 }
 
 }  // namespace ufo::seq

@@ -142,6 +142,64 @@ TEST(HashTable, ConcurrentInserts) {
   EXPECT_EQ(elems.size(), n);
 }
 
+// Regression: reserve(n) used to size the new table from n alone, ignoring
+// live keys. Reserving a small headroom on a large live set then rehashed
+// the live keys into a table they cannot fit (load factor >= 1), and the
+// next insert would spin forever on a full probe chain. Before the fix this
+// test hangs in reserve(); after it, the table counts live keys and grows.
+TEST(HashTable, ReserveSmallOnLargeLiveSet) {
+  ConcurrentSet set;
+  set.reserve(100);
+  for (uint64_t i = 0; i < 100; ++i) set.insert(i);
+  ASSERT_EQ(set.size(), 100u);
+  // Headroom request far below the live count. The undersized computation
+  // (2 * (30 + 1) -> 64 slots < 100 live keys) tripped exactly here.
+  set.reserve(30);
+  EXPECT_GE(set.capacity(), 2 * (100 + 30));
+  for (uint64_t i = 100; i < 130; ++i) EXPECT_TRUE(set.insert(i));
+  EXPECT_EQ(set.size(), 130u);
+  for (uint64_t i = 0; i < 130; ++i) EXPECT_TRUE(set.contains(i));
+}
+
+// Regression: the capacity doubling loop `while (want < 2 * (n + 1))` could
+// overflow `want` to 0 for adversarially large n and never terminate.
+// capacity_for saturates at kMaxCapacity instead (and never multiplies, so
+// the comparison itself cannot overflow).
+TEST(HashTable, CapacityForClampsAdversarialRequests) {
+  EXPECT_EQ(ConcurrentSet::capacity_for(0, 0), 16u);
+  EXPECT_EQ(ConcurrentSet::capacity_for(0, 7), 16u);
+  EXPECT_EQ(ConcurrentSet::capacity_for(0, 8), 32u);
+  EXPECT_EQ(ConcurrentSet::capacity_for(100, 30), 512u);
+  EXPECT_EQ(ConcurrentSet::capacity_for(0, SIZE_MAX),
+            ConcurrentSet::kMaxCapacity);
+  EXPECT_EQ(ConcurrentSet::capacity_for(SIZE_MAX, SIZE_MAX),
+            ConcurrentSet::kMaxCapacity);
+  EXPECT_EQ(ConcurrentSet::capacity_for(SIZE_MAX / 2, 1),
+            ConcurrentSet::kMaxCapacity);
+}
+
+// Regression: reserve()'s early return used to consider live keys only.
+// Tombstones occupy probe slots and never revert to empty outside a
+// rehash, so sustained insert/erase churn at a stable live size consumed
+// every empty slot — after which any absent-key probe (contains/insert/
+// erase of a missing key) spun forever. reserve() now counts tombstones
+// toward occupancy and rehashes (dropping them) when the sum passes half
+// the table; before the fix this test hangs inside contains().
+TEST(HashTable, TombstoneChurnKeepsEmptySlots) {
+  ConcurrentSet set;
+  set.reserve(8);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    set.reserve(1);  // phase boundary, EdgeStore::insert-style
+    set.insert(i);
+    EXPECT_FALSE(set.contains(i + 1));  // absent probe must terminate
+    EXPECT_TRUE(set.erase(i));
+  }
+  EXPECT_EQ(set.size(), 0u);
+  // Live size never exceeded 1, so periodic rehashes keep the table tiny
+  // instead of letting tombstones force growth.
+  EXPECT_LE(set.capacity(), 64u);
+}
+
 TEST(HashTable, ReserveRehashesAndDropsTombstones) {
   ConcurrentSet set(8);
   for (uint64_t i = 0; i < 8; ++i) set.insert(i);
