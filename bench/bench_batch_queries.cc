@@ -11,6 +11,7 @@
 #include "bench/common.h"
 #include "core/batch_queries.h"
 #include "graph/generators.h"
+#include "parallel/par_ufo_tree.h"
 #include "parallel/scheduler.h"
 #include "seq/topology_tree.h"
 #include "seq/ternarize.h"
@@ -21,8 +22,8 @@ using namespace ufo::bench;
 
 namespace {
 
-template <class Tree>
-void run(const char* name, Tree& t, size_t n, size_t nq, uint64_t seed) {
+std::vector<core::VertexPair> make_queries(size_t n, size_t nq,
+                                           uint64_t seed) {
   util::SplitMix64 rng(seed);
   std::vector<core::VertexPair> q;
   q.reserve(nq);
@@ -32,6 +33,12 @@ void run(const char* name, Tree& t, size_t n, size_t nq, uint64_t seed) {
     if (u == v) v = (v + 1) % static_cast<Vertex>(n);
     q.emplace_back(u, v);
   }
+  return q;
+}
+
+template <class Tree>
+void run(const char* name, Tree& t, size_t n, size_t nq, uint64_t seed) {
+  std::vector<core::VertexPair> q = make_queries(n, nq, seed);
 
   util::Timer t1;
   long long sink = 0;
@@ -42,6 +49,25 @@ void run(const char* name, Tree& t, size_t n, size_t nq, uint64_t seed) {
   std::vector<Weight> out = core::batch_path_sum(t, q);
   double batched = t2.elapsed();
   for (Weight w : out) sink -= w;
+
+  std::printf("%-26s %12.0f %12.0f %12s\n", name, nq / scalar, nq / batched,
+              sink == 0 ? "ok" : "MISMATCH");
+}
+
+template <class Tree>
+void run_connectivity(const char* name, Tree& t, size_t n, size_t nq,
+                      uint64_t seed) {
+  std::vector<core::VertexPair> q = make_queries(n, nq, seed);
+
+  util::Timer t1;
+  long long sink = 0;
+  for (const auto& [u, v] : q) sink += t.connected(u, v) ? 1 : 0;
+  double scalar = t1.elapsed();
+
+  util::Timer t2;
+  std::vector<uint8_t> out = core::batch_connected(t, q);
+  double batched = t2.elapsed();
+  for (uint8_t b : out) sink -= b;
 
   std::printf("%-26s %12.0f %12.0f %12s\n", name, nq / scalar, nq / batched,
               sink == 0 ? "ok" : "MISMATCH");
@@ -64,7 +90,14 @@ int main(int argc, char** argv) {
 
   seq::UfoTree ufo(n);
   for (const Edge& e : edges) ufo.link(e.u, e.v, e.w);
-  run("UFO Tree", ufo, n, nq, 9);
+  run("UFO Tree (seq)", ufo, n, nq, 9);
+
+  // The parallel backend shares the query suite through core::UfoCore, so
+  // the same read-only fan-out applies — this is the "par" column: batched
+  // throughput here scales with the pool width on multicore hosts.
+  par::UfoTree pufo(n);
+  pufo.batch_link(edges);
+  run("UFO Tree (par)", pufo, n, nq, 9);
 
   // Query the ternarized structure's inner tree directly: original vertex
   // ids occupy slots 0..n-1 and chain edges weigh 0, so path sums between
@@ -72,5 +105,12 @@ int main(int argc, char** argv) {
   seq::Ternarizer<seq::TopologyTree> topo(n);
   for (const Edge& e : edges) topo.link(e.u, e.v, e.w);
   run("Topology Tree (tern.)", topo.inner(), n, nq, 9);
+
+  std::printf("\n[batch-queries] connectivity throughput, n=%zu, %zu "
+              "queries\n", n, nq);
+  std::printf("%-26s %12s %12s %12s\n", "structure", "scalar q/s",
+              "batched q/s", "check");
+  run_connectivity("UFO Tree (seq)", ufo, n, nq, 17);
+  run_connectivity("UFO Tree (par)", pufo, n, nq, 17);
   return 0;
 }

@@ -7,12 +7,18 @@
 // a path (all pair merges), a preferential-attachment tree (mixed), and a
 // star (one superunary merge).
 //
-//   --n=<vertices>  --batch=<k>  --quick
+//   --n=<vertices>  --batch=<k>  --quick  --batch-sweep
 //
 // The speedup column is seq seconds / widest-par seconds — the acceptance
 // target for this backend is >= 1.5x on >= 4 cores at k = 100000 (see
 // BENCH.md for recorded runs; single-core hosts can only show the parallel
 // overhead, not the speedup).
+//
+// --batch-sweep switches to the small-batch regime: build each input fully,
+// then time rounds of (batch_cut k, batch_link k) for k in {100, 1k, 10k}
+// on a standing n-vertex tree. This is the regime where the old
+// whole-component parallel rebuild paid O(component) per batch; with
+// path-granular affected sets par must stay at or below seq.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,26 +43,66 @@ EdgeList make_input(const std::string& name, size_t n) {
   return gen::star(n);
 }
 
+constexpr int kSweepRounds = 10;
+
 // Child mode: one parallel measurement, result on stdout for the parent.
-int child_main(const std::string& input, size_t n, size_t k) {
-  double s = batch_build_destroy_seconds<par::UfoTree>(n, make_input(input, n),
-                                                       k, 4);
+int child_main(const std::string& input, size_t n, size_t k, bool sweep) {
+  double s = sweep ? small_batch_rounds_seconds<par::UfoTree>(
+                         n, make_input(input, n), k, kSweepRounds, 4)
+                   : batch_build_destroy_seconds<par::UfoTree>(
+                         n, make_input(input, n), k, 4);
   std::printf("%.6f\n", s);
   return 0;
 }
 
 // Re-exec self with the pool width pinned; returns seconds or -1.
 double run_child(const char* self, const std::string& input, size_t n,
-                 size_t k, unsigned threads) {
+                 size_t k, unsigned threads, bool sweep) {
   std::string cmd = "UFOTREE_NUM_THREADS=" + std::to_string(threads) + " '" +
                     self + "' --child=" + input + " --n=" + std::to_string(n) +
-                    " --batch=" + std::to_string(k);
+                    " --batch=" + std::to_string(k) +
+                    (sweep ? " --batch-sweep" : "");
   FILE* pipe = popen(cmd.c_str(), "r");
   if (!pipe) return -1;
   double s = -1;
   if (std::fscanf(pipe, "%lf", &s) != 1) s = -1;
   if (pclose(pipe) != 0) return -1;
   return s;
+}
+
+// Small-batch sweep table: rows are input x k, columns seq / par widths.
+int sweep_main(const char* self, size_t n, const std::vector<unsigned>& threads) {
+  std::printf(
+      "[par-vs-seq] small-batch sweep: %d rounds of (batch_cut k, "
+      "batch_link k) on a standing tree, n=%zu (seconds)\n",
+      kSweepRounds, n);
+  std::vector<std::string> cols{"seq"};
+  for (unsigned t : threads) cols.push_back("par-t" + std::to_string(t));
+  cols.push_back("speedup");
+  print_header("small batches", "input / k", cols);
+  for (const std::string& input : {"path", "pref-attach", "star"}) {
+    for (size_t k : {size_t{100}, size_t{1000}, size_t{10000}}) {
+      std::string row = input + " k=" + std::to_string(k);
+      std::printf("%-26s", row.c_str());
+      double seq_s = small_batch_rounds_seconds<seq::UfoTree>(
+          n, make_input(input, n), k, kSweepRounds, 4);
+      print_cell(seq_s);
+      std::fflush(stdout);
+      double widest = -1;
+      for (unsigned t : threads) {
+        widest = run_child(self, input, n, k, t, /*sweep=*/true);
+        print_cell(widest);
+        std::fflush(stdout);
+      }
+      if (widest > 0)
+        std::printf(" %11.2fx", seq_s / widest);
+      else
+        std::printf(" %12s", "n/a");
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -66,14 +112,18 @@ int main(int argc, char** argv) {
   size_t n = opt.n ? opt.n : (opt.quick ? 20000 : 300000);
   size_t k = opt.batch ? opt.batch : std::min<size_t>(n, 100000);
   std::string child_input;
-  for (int i = 1; i < argc; ++i)
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--child=", 8) == 0) child_input = argv[i] + 8;
-  if (!child_input.empty()) return child_main(child_input, n, k);
+    if (std::strcmp(argv[i], "--batch-sweep") == 0) sweep = true;
+  }
+  if (!child_input.empty()) return child_main(child_input, n, k, sweep);
 
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   std::vector<unsigned> threads{1, 2, 4};
   if (hw > 4) threads.push_back(hw);
+  if (sweep) return sweep_main(argv[0], n, threads);
   std::printf(
       "[par-vs-seq] batch UFO build+destroy, n=%zu, k=%zu (seconds); "
       "host has %u hardware threads\n",
@@ -90,7 +140,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     double widest = -1;
     for (unsigned t : threads) {
-      widest = run_child(argv[0], input, n, k, t);
+      widest = run_child(argv[0], input, n, k, t, /*sweep=*/false);
       print_cell(widest);
       std::fflush(stdout);
     }

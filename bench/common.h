@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/forest.h"
@@ -66,6 +67,33 @@ double build_destroy_seconds(size_t n, const EdgeList& edges, uint64_t seed) {
   util::Timer timer;
   for (const Edge& e : ins) t.link(e.u, e.v, e.w);
   for (const Edge& e : del) t.cut(e.u, e.v);
+  return timer.elapsed();
+}
+
+// Small-batch regime: build the full tree once (untimed), then time
+// `rounds` rounds of (batch_cut of k random tree edges, batch_link of the
+// same k back). This isolates the per-batch cost on a standing structure —
+// the regime where whole-component rebuilds blow up and path-granular
+// affected sets must win.
+template <class Tree>
+double small_batch_rounds_seconds(size_t n, const EdgeList& edges, size_t k,
+                                  int rounds, uint64_t seed) {
+  Tree t(n);
+  t.batch_link(edges);
+  if (k > edges.size()) k = edges.size();
+  EdgeList pool = edges;
+  util::SplitMix64 rng(seed);
+  util::Timer timer;
+  for (int r = 0; r < rounds; ++r) {
+    // Partial Fisher-Yates: k distinct random tree edges per round.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(rng.next(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    std::vector<Edge> batch(pool.begin(), pool.begin() + k);
+    t.batch_cut(batch);
+    t.batch_link(batch);
+  }
   return timer.elapsed();
 }
 

@@ -69,6 +69,20 @@ std::vector<Weight> batch_path_max(const Tree& t,
   return out;
 }
 
+// answers[i] = t.path_length(q[i]) (hop count) — every pair must be
+// connected.
+template <class Tree>
+std::vector<int64_t> batch_path_length(const Tree& t,
+                                       const std::vector<VertexPair>& q)
+  requires requires(const Tree ct, Vertex x) { ct.path_length(x, x); }
+{
+  std::vector<int64_t> out(q.size());
+  par::parallel_for(0, q.size(), [&](size_t i) {
+    out[i] = t.path_length(q[i].first, q[i].second);
+  });
+  return out;
+}
+
 // answers[i] = t.subtree_sum(v, p) for q[i] = (v, p) — (v, p) must be a
 // tree edge.
 template <ConstQueryable Tree>

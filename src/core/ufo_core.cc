@@ -8,6 +8,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "parallel/primitives.h"
+
 namespace ufo::core {
 
 UfoCore::UfoCore(size_t n) : n_(n), vweight_(n, 1), marked_(n, 0) {
@@ -170,8 +172,7 @@ int UfoCore::boundary_slot(const Cluster& c, Vertex bv) const {
 
 // Contribution of rake r hanging off the center vertex (depth includes the
 // rake edge hop). Caches the values on r so removal is exact.
-void UfoCore::rake_index_add(uint32_t p, uint32_t r) {
-  Cluster& pc = clusters_[p];
+void UfoCore::rake_contrib_refresh(uint32_t r) {
   Cluster& rc = clusters_[r];
   int sr = boundary_slot(rc, rc.nbrs.empty() ? kNoVertex : rc.nbrs[0].my_end);
   rc.contrib_depth = 1 + (sr >= 0 ? rc.max_dist[sr] : 0);
@@ -182,6 +183,12 @@ void UfoCore::rake_index_add(uint32_t p, uint32_t r) {
   rc.contrib_sumdist = (sr >= 0 ? rc.sum_dist[sr] : 0) + rc.sub_sum;
   rc.contrib_nverts = rc.n_verts;
   rc.contrib_marked = rc.marked_count;
+}
+
+void UfoCore::rake_index_add(uint32_t p, uint32_t r) {
+  rake_contrib_refresh(r);
+  Cluster& pc = clusters_[p];
+  const Cluster& rc = clusters_[r];
   pc.rake_depths.insert(rc.contrib_depth);
   if (rc.contrib_mark < kInf) pc.rake_marks.insert(rc.contrib_mark);
   pc.rake_diams.insert(rc.contrib_diam);
@@ -189,6 +196,92 @@ void UfoCore::rake_index_add(uint32_t p, uint32_t r) {
   pc.rake_sumdist_total += rc.contrib_sumdist;
   pc.rake_nverts_total += rc.contrib_nverts;
   pc.rake_marked_total += rc.contrib_marked;
+}
+
+namespace {
+
+// Merge a sorted run into a multiset with monotone hinted inserts:
+// O(existing + new) total, against new * log(existing) for blind inserts.
+void merge_sorted_run(std::multiset<int64_t>& ms,
+                      const std::vector<int64_t>& vals) {
+  auto hint = ms.begin();
+  for (int64_t v : vals) {
+    while (hint != ms.end() && *hint < v) ++hint;
+    hint = ms.insert(hint, v);
+    ++hint;
+  }
+}
+
+}  // namespace
+
+// Refresh `rakes`' cached contributions in parallel, merge their sorted key
+// runs into p's index containers, and add their totals. The shared tail of
+// bulk build (into cleared containers) and bulk attach (into a standing
+// index).
+void UfoCore::rake_index_merge_runs(uint32_t p,
+                                    const std::vector<uint32_t>& rakes) {
+  Cluster& pc = clusters_[p];
+  size_t n = rakes.size();
+  par::parallel_for(0, n, [&](size_t i) { rake_contrib_refresh(rakes[i]); });
+  std::vector<int64_t> depths(n), diams(n);
+  par::parallel_for(0, n, [&](size_t i) {
+    depths[i] = clusters_[rakes[i]].contrib_depth;
+    diams[i] = clusters_[rakes[i]].contrib_diam;
+  });
+  std::vector<int64_t> marks = par::map(n, [&](size_t i) {
+    return clusters_[rakes[i]].contrib_mark;
+  });
+  marks = par::filter(marks, [&](int64_t m) { return m < kInf; });
+  par::par_sort(depths);
+  par::par_sort(diams);
+  par::par_sort(marks);
+  merge_sorted_run(pc.rake_depths, depths);
+  merge_sorted_run(pc.rake_marks, marks);
+  merge_sorted_run(pc.rake_diams, diams);
+  for (uint32_t r : rakes) {
+    const Cluster& rc = clusters_[r];
+    pc.rake_sub_total += rc.contrib_sub;
+    pc.rake_sumdist_total += rc.contrib_sumdist;
+    pc.rake_nverts_total += rc.contrib_nverts;
+    pc.rake_marked_total += rc.contrib_marked;
+  }
+}
+
+void UfoCore::rake_index_clear(uint32_t p) {
+  Cluster& pc = clusters_[p];
+  pc.rake_depths.clear();
+  pc.rake_marks.clear();
+  pc.rake_diams.clear();
+  pc.rake_sub_total = 0;
+  pc.rake_sumdist_total = 0;
+  pc.rake_nverts_total = 0;
+  pc.rake_marked_total = 0;
+}
+
+void UfoCore::rake_index_build_bulk(uint32_t p) {
+  Cluster& pc = clusters_[p];
+  std::vector<uint32_t> rakes;
+  rakes.reserve(pc.children.size());
+  for (uint32_t c : pc.children)
+    if (c != pc.center_child) rakes.push_back(c);
+  rake_index_clear(p);
+  rake_index_merge_runs(p, rakes);
+}
+
+void UfoCore::rake_index_bulk_add(uint32_t p,
+                                  const std::vector<uint32_t>& rakes) {
+  Cluster& pc = clusters_[p];
+  assert(pc.rake_index_valid);
+  if (rakes.size() < 64) {  // merge machinery not worth spinning up
+    for (uint32_t r : rakes) rake_index_add(p, r);
+    return;
+  }
+  if (rakes.size() * 4 >= pc.rake_depths.size()) {
+    // The new set rivals the old: one parallel rebuild beats merging.
+    rake_index_build_bulk(p);
+    return;
+  }
+  rake_index_merge_runs(p, rakes);
 }
 
 void UfoCore::rake_index_remove(uint32_t p, uint32_t r) {
@@ -277,16 +370,14 @@ void UfoCore::recompute_aggregates(uint32_t p) {
   }
   if (pc.center_child != 0) {  // superunary (high-degree) merge
     if (!pc.rake_index_valid) {
-      pc.rake_depths.clear();
-      pc.rake_marks.clear();
-      pc.rake_diams.clear();
-      pc.rake_sub_total = 0;
-      pc.rake_sumdist_total = 0;
-      pc.rake_nverts_total = 0;
-      pc.rake_marked_total = 0;
-      for (uint32_t c : pc.children) {
-        if (c == pc.center_child) continue;
-        rake_index_add(p, c);
+      if (parallel_bulk_ && pc.children.size() >= kRakeBulkThreshold) {
+        rake_index_build_bulk(p);
+      } else {
+        rake_index_clear(p);
+        for (uint32_t c : pc.children) {
+          if (c == pc.center_child) continue;
+          rake_index_add(p, c);
+        }
       }
       pc.rake_index_valid = true;
     }

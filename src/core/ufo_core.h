@@ -169,6 +169,28 @@ class UfoCore {
   // Incremental rake-index maintenance (O(log fanout) each).
   void rake_index_add(uint32_t p, uint32_t r);
   void rake_index_remove(uint32_t p, uint32_t r);
+  // Recompute r's cached contribution fields from its current aggregates
+  // (the pure part of rake_index_add; safe to run concurrently for
+  // distinct r).
+  void rake_contrib_refresh(uint32_t r);
+  // Batch rake-index construction (Section 4.2's rank trees are
+  // parallelizable; the multiset stand-in gets the same treatment): compute
+  // every rake's contribution in parallel, parallel-sort the key arrays,
+  // and build the multisets linearly from the sorted runs — O(f log f) work
+  // at polylog depth instead of f serial tree inserts. Invoked by
+  // recompute_aggregates for fanouts >= kRakeBulkThreshold.
+  void rake_index_build_bulk(uint32_t p);
+  // Batch attach: merge `rakes` (already children of p) into p's valid rake
+  // index. Sorted-run merge with hinted inserts — O(existing + new) instead
+  // of new * log(existing); falls back to a full bulk rebuild when the new
+  // set rivals the existing one.
+  void rake_index_bulk_add(uint32_t p, const std::vector<uint32_t>& rakes);
+  // Shared tail of the two bulk paths: refresh contributions, sort, merge
+  // runs into p's containers, accumulate totals.
+  void rake_index_merge_runs(uint32_t p, const std::vector<uint32_t>& rakes);
+  // Empty p's rake index containers and totals (does not touch validity).
+  void rake_index_clear(uint32_t p);
+  static constexpr size_t kRakeBulkThreshold = 1024;
   // Recompute p's aggregates from the valid rake index + fresh center
   // values, without touching the rake children.
   void recompute_from_rake_index(uint32_t p);
@@ -195,6 +217,11 @@ class UfoCore {
   // True during seq batch_update's deletion walk, where a doomed pair merge
   // may be recomputed before its retirement (see recompute_aggregates).
   bool batch_deleting_ = false;
+  // Opted into by the parallel backend: lets recompute_aggregates build
+  // large rake indexes with the fork-join bulk path. The sequential backend
+  // leaves it false so "seq" never touches the pool (it stays an honest
+  // single-threaded baseline and spawns no background threads).
+  bool parallel_bulk_ = false;
   std::vector<Cluster> clusters_;
   std::vector<uint32_t> free_;
   std::vector<Weight> vweight_;

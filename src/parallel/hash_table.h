@@ -192,4 +192,48 @@ class ConcurrentSet {
   std::atomic<size_t> tombs_{0};
 };
 
+// Per-slot ownership claims for phase-concurrent algorithms: many tasks race
+// to claim the same dense id (a cluster, a teardown walk target) and exactly
+// one wins the CAS and performs the work; a loser drops its duplicate
+// request, relying on the winner's effect (the claimed cluster re-enters
+// the shared frontier) to serve it. Slots are epoch-tagged so a new phase
+// invalidates every previous claim in O(1) — no O(n) clear between
+// batches, which matters when a small batch touches a huge structure.
+class ClaimTable {
+ public:
+  // Single-threaded phase boundary: make ids [0, n) claimable and retire
+  // every claim from earlier phases.
+  void begin_phase(size_t n) {
+    if (slots_.size() < n) {
+      // Atomics are not movable; rebuild and restart the epoch count.
+      std::vector<std::atomic<uint64_t>> fresh(n + n / 2 + 16);
+      for (auto& s : fresh) s.store(0, std::memory_order_relaxed);
+      slots_.swap(fresh);
+      epoch_ = 0;
+    }
+    ++epoch_;
+    if ((epoch_ >> 32) != 0) {  // 32-bit epoch wrapped: hard-clear instead
+      for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+      epoch_ = 1;
+    }
+  }
+
+  // Phase-concurrent: claim `id` for `owner`. Returns true iff this call
+  // won (exactly one claim per id per phase succeeds).
+  bool claim(size_t id, uint32_t owner) {
+    uint64_t want = (epoch_ << 32) | owner;
+    uint64_t cur = slots_[id].load(std::memory_order_relaxed);
+    for (;;) {
+      if ((cur >> 32) == epoch_) return false;  // already claimed this phase
+      if (slots_[id].compare_exchange_weak(cur, want,
+                                           std::memory_order_acq_rel))
+        return true;
+    }
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> slots_;
+  uint64_t epoch_ = 0;  // low 32 bits of slots hold the owner, high the epoch
+};
+
 }  // namespace ufo::par

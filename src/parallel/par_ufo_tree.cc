@@ -1,19 +1,25 @@
-// Parallel batch-dynamic UFO tree updates: level-synchronous teardown and
-// reclustering of the affected components (Section 5). Queries and
-// aggregate maintenance are inherited from core::UfoCore.
+// Parallel batch-dynamic UFO tree updates: path-granular level-synchronous
+// teardown (concurrent DeleteAncestors), multi-level edge propagation, and
+// reclustering of the detached frontier against the surviving hierarchy
+// (Section 5). Queries and aggregate maintenance are inherited from
+// core::UfoCore.
 #include "parallel/par_ufo_tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <utility>
 
-#include "parallel/hash_table.h"
 #include "parallel/primitives.h"
 #include "parallel/scheduler.h"
 #include "util/random.h"
 
 namespace ufo::par {
 
-UfoTree::UfoTree(size_t n) : core::UfoCore(n) {}
+UfoTree::UfoTree(size_t n) : core::UfoCore(n) {
+  parallel_bulk_ = true;  // rake indexes may use the fork-join bulk paths
+  ensure_scratch();
+}
 
 void UfoTree::link(Vertex u, Vertex v, Weight w) {
   assert(u != v && !connected(u, v));
@@ -41,234 +47,736 @@ void UfoTree::batch_cut(const std::vector<Edge>& edges) {
   batch_update(batch);
 }
 
-void UfoTree::batch_update(const std::vector<Update>& batch) {
-  if (batch.empty()) return;
-  // Root collection must precede the teardown (it climbs the old
-  // hierarchy), and the teardown must precede the leaf updates only because
-  // both are cheaper that way round — they touch disjoint state (parent
-  // pointers vs leaf adjacency).
-  std::vector<Vertex> endpoints(2 * batch.size());
-  parallel_for(0, batch.size(), [&](size_t i) {
-    endpoints[2 * i] = batch[i].u;
-    endpoints[2 * i + 1] = batch[i].v;
-  });
-  std::vector<uint32_t> roots = affected_roots(endpoints);
-  std::vector<uint32_t> frontier = collect_affected(roots);
-  apply_leaf_updates(batch);
-  contract(std::move(frontier));
+void UfoTree::ensure_scratch() {
+  size_t n = clusters_.size();
+  if (state_.size() < n) state_.resize(n, 0);
+  if (proposal_.size() < n) proposal_.resize(n, 0);
+  if (doomed_.size() < n) doomed_.resize(n, 0);
 }
 
-std::vector<uint32_t> UfoTree::affected_roots(
-    const std::vector<Vertex>& endpoints) {
-  // Phase-concurrent insert phase; the set dedupes components touched by
-  // many endpoints (the constructor's reserve sizes it for the whole batch
-  // before the concurrent phase starts).
-  ConcurrentSet set(endpoints.size());
-  parallel_for(0, endpoints.size(),
-               [&](size_t i) { set.insert(tree_root(endpoints[i])); });
-  std::vector<uint64_t> keys = set.elements();
-  std::vector<uint32_t> roots(keys.size());
-  parallel_for(0, keys.size(),
-               [&](size_t i) { roots[i] = static_cast<uint32_t>(keys[i]); });
-  return roots;
+void UfoTree::set_role(uint32_t c, uint8_t role) {
+  state_[c] = (round_ << 3) | role;
 }
 
-std::vector<uint32_t> UfoTree::collect_affected(
-    const std::vector<uint32_t>& roots) {
-  std::vector<uint32_t> leaves;
-  std::vector<uint32_t> doomed;
-  std::vector<uint32_t> wave = roots;
-  while (!wave.empty()) {
-    // Flatten this wave's children via prefix sums (each cluster has one
-    // parent, so waves never revisit a cluster).
-    std::vector<size_t> off(wave.size());
-    parallel_for(0, wave.size(), [&](size_t i) {
-      off[i] = clusters_[wave[i]].children.size();
-    });
-    size_t total = scan_exclusive(off);
-    std::vector<uint32_t> next(total);
-    parallel_for(0, wave.size(), [&](size_t i) {
-      const auto& kids = clusters_[wave[i]].children;
-      std::copy(kids.begin(), kids.end(), next.begin() + off[i]);
-    });
-    auto is_leaf = [&](uint32_t c) { return clusters_[c].children.empty(); };
-    std::vector<uint32_t> lv = filter(wave, is_leaf);
-    std::vector<uint32_t> in =
-        filter(wave, [&](uint32_t c) { return !is_leaf(c); });
-    leaves.insert(leaves.end(), lv.begin(), lv.end());
-    doomed.insert(doomed.end(), in.begin(), in.end());
-    wave = std::move(next);
+uint8_t UfoTree::role_of(uint32_t c) const {
+  uint64_t s = state_[c];
+  return (s >> 3) == round_ ? static_cast<uint8_t>(s & 7)
+                            : static_cast<uint8_t>(kNone);
+}
+
+void UfoTree::root_into_frontier(uint32_t c) {
+  size_t lvl = static_cast<size_t>(clusters_[c].level);
+  if (frontier_.size() <= lvl) frontier_.resize(lvl + 1);
+  frontier_[lvl].push_back(c);
+}
+
+// Remove every adjacency entry whose neighbor is in the sorted `targets`,
+// with one compaction pass: O(degree + |targets| log |targets|) against
+// O(degree * |targets|) for repeated adj_remove scans. This is what makes k
+// deletions against a single high-degree cluster (the star's hub) linear.
+void UfoTree::adj_remove_batch(uint32_t c,
+                               const std::vector<uint32_t>& targets) {
+  auto& nbrs = clusters_[c].nbrs;
+  size_t w = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (!std::binary_search(targets.begin(), targets.end(), nbrs[i].nbr))
+      nbrs[w++] = nbrs[i];
   }
-  // Recycle concurrently (each task owns one cluster), then append the ids
-  // to the free list at the phase boundary.
-  parallel_for(0, doomed.size(), [&](size_t i) { reset_cluster(doomed[i]); });
-  free_.insert(free_.end(), doomed.begin(), doomed.end());
-  parallel_for(0, leaves.size(),
-               [&](size_t i) { clusters_[leaves[i]].parent = 0; });
-  return leaves;
+  assert(nbrs.size() - w == targets.size() && "batch removes a missing edge");
+  nbrs.resize(w);
 }
 
-void UfoTree::apply_leaf_updates(const std::vector<Update>& batch) {
-  // Each update touches both endpoints' adjacency lists; semisort by
-  // endpoint so exactly one task owns each leaf.
-  std::vector<std::pair<Vertex, uint32_t>> byv(2 * batch.size());
-  parallel_for(0, batch.size(), [&](size_t i) {
-    byv[2 * i] = {batch[i].u, static_cast<uint32_t>(i)};
-    byv[2 * i + 1] = {batch[i].v, static_cast<uint32_t>(i)};
+// Apply the batch's edge updates at every level where both endpoints'
+// ancestor chains have distinct clusters (the parallel analogue of seq's
+// edge_walk). Deletions run on the intact pre-teardown chains, so the
+// teardown's survival guards see post-delete degrees; insertions run on the
+// surviving post-teardown chains, whose clusters all kept degree >= 3
+// through the guard and therefore attach the new projections at their
+// single boundary vertex. Walks are read-only and parallel; the emitted
+// (cluster, op) list is semisorted so one task owns each touched cluster.
+void UfoTree::edge_level_ops(const std::vector<Update>& ops, bool insert) {
+  size_t m = ops.size();
+  // Pass 1: per-update walk length.
+  std::vector<size_t> off(m);
+  parallel_for(0, m, [&](size_t i) {
+    uint32_t a = leaf_id(ops[i].u), b = leaf_id(ops[i].v);
+    size_t levels = 0;
+    while (a != 0 && b != 0 && a != b) {
+      ++levels;
+      a = clusters_[a].parent;
+      b = clusters_[b].parent;
+    }
+    off[i] = 2 * levels;
   });
-  auto groups = group_by_key(byv);
+  size_t total = scan_exclusive(off);
+  std::vector<std::pair<uint32_t, Adj>> flat(total);
+  parallel_for(0, m, [&](size_t i) {
+    uint32_t a = leaf_id(ops[i].u), b = leaf_id(ops[i].v);
+    size_t at = off[i];
+    while (a != 0 && b != 0 && a != b) {
+      flat[at++] = {a, {b, ops[i].u, ops[i].v, ops[i].w}};
+      flat[at++] = {b, {a, ops[i].v, ops[i].u, ops[i].w}};
+      a = clusters_[a].parent;
+      b = clusters_[b].parent;
+    }
+  });
+  auto groups = group_by_key(flat);
   parallel_for(0, groups.size(), [&](size_t g) {
     auto [begin, end] = groups[g];
-    Vertex x = byv[begin].first;
-    uint32_t lx = leaf_id(x);
-    for (size_t i = begin; i < end; ++i) {
-      const Update& up = batch[byv[i].second];
-      assert(up.u != up.v && "self-loop in batch");
-      Vertex y = (up.u == x) ? up.v : up.u;
-      uint32_t ly = leaf_id(y);
-      if (up.is_delete) {
-        assert(adj_contains(lx, ly) && "batch deletes a missing edge");
-        adj_remove(lx, ly);
-      } else {
-        assert(!adj_contains(lx, ly) && "batch inserts a present edge");
-        clusters_[lx].nbrs.push_back({ly, x, y, up.w});
+    uint32_t c = flat[begin].first;
+    if (insert) {
+      for (size_t i = begin; i < end; ++i) {
+        assert(!adj_contains(c, flat[i].second.nbr) &&
+               "batch inserts a present edge");
+        clusters_[c].nbrs.push_back(flat[i].second);
       }
+    } else {
+      std::vector<uint32_t> targets(end - begin);
+      for (size_t i = begin; i < end; ++i)
+        targets[i - begin] = flat[i].second.nbr;
+      std::sort(targets.begin(), targets.end());
+      adj_remove_batch(c, targets);
     }
-    refresh_leaf(lx);
   });
+  for (const auto& [begin, end] : groups) dirty_.push_back(flat[begin].first);
 }
 
-void UfoTree::contract(std::vector<uint32_t> frontier) {
-  while (true) {
-    // Completed tree roots (degree 0) stay parentless and drop out.
-    frontier = filter(frontier, [&](uint32_t c) {
-      return !clusters_[c].nbrs.empty();
-    });
-    if (frontier.empty()) break;
-    size_t m = frontier.size();
-    int32_t lvl = clusters_[frontier[0]].level;
-    if (state_.size() < clusters_.size()) state_.resize(clusters_.size());
-    if (proposal_.size() < clusters_.size())
-      proposal_.resize(clusters_.size());
-    parallel_for(0, m, [&](size_t i) { state_[frontier[i]] = kFree; });
+// Level-synchronous concurrent DeleteAncestors (Algorithm 1 run one level
+// per round across every walk at once). Tokens carry the cluster the walk
+// just left; converging walks are merged by semisorting on the shared
+// parent, so each parent is decided by exactly one task with the full set
+// of its walk children in view. Low-degree/low-fanout parents are deleted
+// (children re-rooted into the frontier); surviving high-degree/high-fanout
+// parents shed their low-degree walk children and stay. The walk child of a
+// survivor stays attached only when its degree is >= 3 — which is also what
+// keeps the surviving chains usable for insert propagation.
+void UfoTree::teardown_pass(std::vector<Token> toks) {
+  while (!toks.empty()) {
+    ensure_scratch();
+    // Walks whose child is parentless are done: a surviving chain top joins
+    // the frontier (deleted tops already re-rooted their children).
+    for (const Token& t : toks) {
+      if (clusters_[t.child].parent == 0 && !t.deleted)
+        root_into_frontier(t.child);
+    }
+    std::vector<Token> rest = filter(
+        toks, [&](const Token& t) { return clusters_[t.child].parent != 0; });
+    if (rest.empty()) break;
 
-    // Phase A roles: every high-degree cluster becomes the center of a
-    // superunary merge; each degree-1 cluster next to one is its rake (a
-    // degree-1 cluster has a unique neighbor, so no two centers contend).
-    parallel_for(0, m, [&](size_t i) {
-      uint32_t c = frontier[i];
-      if (clusters_[c].nbrs.size() >= 3) state_[c] = kCenter;
+    std::vector<std::pair<uint32_t, uint32_t>> byp(rest.size());
+    parallel_for(0, rest.size(), [&](size_t i) {
+      byp[i] = {clusters_[rest[i].child].parent, static_cast<uint32_t>(i)};
     });
-    parallel_for(0, m, [&](size_t i) {
-      uint32_t c = frontier[i];
-      if (clusters_[c].nbrs.size() == 1 &&
-          clusters_[clusters_[c].nbrs[0].nbr].nbrs.size() >= 3)
-        state_[c] = kRaked;
-    });
+    auto groups = group_by_key(byp);
+    size_t ngroups = groups.size();
+    std::vector<Token> next(ngroups);
+    std::vector<std::vector<uint32_t>> rooted(ngroups);
+    std::vector<uint8_t> died(ngroups, 0);
 
-    // Phase B: randomized mutual-proposal matching over the remaining
-    // degree <= 2 clusters (their eligible subgraph is a disjoint union of
-    // paths — a contracted forest has no cycles). Each round, every
-    // unmatched eligible cluster proposes to its eligible neighbor with the
-    // highest salted hash; mutual proposals pair up. The hash-maximal
-    // eligible cluster with an eligible neighbor always lands a mutual
-    // proposal, so a round with no new pairs proves the eligible edge set
-    // empty; random salts pair an expected constant fraction per round.
-    std::vector<uint32_t> pairs;  // anchors; partner = proposal_[anchor]
-    std::vector<uint32_t> active = filter(
-        frontier, [&](uint32_t c) { return state_[c] == kFree; });
-    while (!active.empty()) {
-      uint64_t salt = util::hash64(round_salt_++);
-      auto rank = [&](uint32_t d) { return util::hash64(salt ^ d); };
-      parallel_for(0, active.size(), [&](size_t i) {
-        uint32_t c = active[i];
-        uint32_t best = 0;
-        uint64_t besth = 0;
-        for (const Adj& a : clusters_[c].nbrs) {
-          uint32_t d = a.nbr;
-          if (state_[d] != kFree) continue;
-          uint64_t h = rank(d);
-          if (best == 0 || h > besth || (h == besth && d > best)) {
-            best = d;
-            besth = h;
+    parallel_for(0, ngroups, [&](size_t g) {
+      auto [begin, end] = groups[g];
+      uint32_t cur = byp[begin].first;
+      Cluster& cc = clusters_[cur];
+      // Detach walk children that were deleted at the previous level.
+      bool center_gone = false;
+      for (size_t i = begin; i < end; ++i) {
+        const Token& t = rest[byp[i].second];
+        if (!t.deleted) continue;
+        if (cc.center_child == t.child) {
+          center_gone = true;
+        } else if (cc.center_child != 0 && cc.rake_index_valid) {
+          rake_index_remove(cur, t.child);
+        }
+        remove_child(cur, t.child);
+      }
+      bool deletable = cc.nbrs.size() < 3 && cc.children.size() < 3;
+      // A pair merge whose merge edge was deleted by this batch is no
+      // longer a valid merge regardless of degree drift: delete it rather
+      // than keep a stale pair whose aggregates cannot be recomputed.
+      if (!deletable && cc.center_child == 0 && cc.children.size() == 2 &&
+          !adj_contains(cc.children[0], cc.children[1]))
+        deletable = true;
+      // A high-degree merge whose center is being removed (deleted below,
+      // or about to be stripped as a low-degree child) is no longer a valid
+      // merge: delete cur outright. Its degree is bounded by the former
+      // center's (< 3), so this preserves the update cost bound.
+      if (!deletable && cc.center_child != 0) {
+        if (center_gone) {
+          deletable = true;
+        } else {
+          for (size_t i = begin; i < end && !deletable; ++i) {
+            const Token& t = rest[byp[i].second];
+            if (!t.deleted && t.child == cc.center_child &&
+                clusters_[t.child].nbrs.size() <= 2)
+              deletable = true;
           }
         }
-        proposal_[c] = best;  // 0 = no eligible neighbor
-      });
-      std::vector<uint32_t> fresh = filter(active, [&](uint32_t c) {
-        uint32_t d = proposal_[c];
-        return d != 0 && proposal_[d] == c && c < d;
-      });
-      if (fresh.empty()) break;  // no eligible edges remain (see above)
-      parallel_for(0, fresh.size(), [&](size_t i) {
-        uint32_t c = fresh[i];
-        state_[c] = kPaired;
-        state_[proposal_[c]] = kPaired;  // distinct pairs: disjoint writes
-      });
-      pairs.insert(pairs.end(), fresh.begin(), fresh.end());
-      active = filter(active, [&](uint32_t c) { return state_[c] == kFree; });
-    }
-
-    std::vector<uint32_t> centers = filter(
-        frontier, [&](uint32_t c) { return state_[c] == kCenter; });
-    std::vector<uint32_t> singles = filter(
-        frontier, [&](uint32_t c) { return state_[c] == kFree; });
-
-    // Allocate the level's parents at the phase boundary (the pool is
-    // sequential), then build them concurrently — each task owns one parent
-    // and its children, so all writes are disjoint.
-    size_t nc = centers.size(), np = pairs.size(), ns = singles.size();
-    std::vector<uint32_t> parents(nc + np + ns);
-    for (size_t i = 0; i < parents.size(); ++i)
-      parents[i] = alloc_cluster(lvl + 1);
-    parallel_for(0, parents.size(), [&](size_t i) {
-      uint32_t p = parents[i];
-      if (i < nc) {
-        uint32_t c = centers[i];
-        clusters_[p].center_child = c;
-        add_child(p, c);
-        for (const Adj& a : clusters_[c].nbrs)
-          if (state_[a.nbr] == kRaked) add_child(p, a.nbr);
-      } else if (i < nc + np) {
-        uint32_t c = pairs[i - nc];
-        uint32_t d = proposal_[c];  // stable: c left `active` when paired
-        const Adj* a = adj_find(c, d);
-        assert(a != nullptr);
-        add_child(p, c);
-        add_child(p, d);
-        clusters_[p].merge_u = a->my_end;
-        clusters_[p].merge_v = a->other_end;
-        clusters_[p].merge_w = a->w;
-      } else {
-        add_child(p, singles[i - nc - np]);
       }
-    });
-
-    // Level l+1 adjacency: project each child edge through the parent map.
-    // Every neighbor has a parent by now (degree >= 1 clusters always get
-    // one), and a forest has at most one edge between two parents' contents,
-    // so no dedupe pass is needed (the assert guards the batch contract —
-    // a cycle in the batch would surface here as a duplicate).
-    parallel_for(0, parents.size(), [&](size_t i) {
-      uint32_t p = parents[i];
-      Cluster& pc = clusters_[p];
-      for (uint32_t c : pc.children) {
-        for (const Adj& a : clusters_[c].nbrs) {
-          uint32_t q = clusters_[a.nbr].parent;
-          assert(q != 0 && "neighbor must have been reclustered");
-          if (q == p) continue;  // merge or rake edge: now internal
-          assert(!adj_contains(p, q) &&
-                 "duplicate projected edge: cycle in the batch?");
-          pc.nbrs.push_back({q, a.my_end, a.other_end, a.w});
+      if (!deletable) {
+        // A survivor may only shed a walk child whose every edge is
+        // internal (a rake, or a pair child holding just the merge edge):
+        // shedding a child with external edges would leave the survivor
+        // holding stale projections of content that left it. Force-delete
+        // instead — the generic doomed-adjacency cleanup handles it.
+        for (size_t i = begin; i < end && !deletable; ++i) {
+          const Token& t = rest[byp[i].second];
+          if (t.deleted || clusters_[t.child].nbrs.size() > 2) continue;
+          for (const Adj& a : clusters_[t.child].nbrs) {
+            // Atomic read: a concurrent group deleting the neighbor's
+            // parent re-roots it (stores 0) in this same round. Either
+            // value differs from cur, so the decision is unaffected — the
+            // atomicity only keeps the unsynchronized access defined.
+            uint32_t np = std::atomic_ref<uint32_t>(clusters_[a.nbr].parent)
+                              .load(std::memory_order_relaxed);
+            if (np != cur) {
+              deletable = true;
+              break;
+            }
+          }
         }
       }
+      if (deletable) {
+        doomed_[cur] = 1;
+        died[g] = 1;
+        for (uint32_t ch : cc.children) {
+          std::atomic_ref<uint32_t>(clusters_[ch].parent)
+              .store(0, std::memory_order_relaxed);
+          rooted[g].push_back(ch);
+        }
+        next[g] = {cur, true};
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          const Token& t = rest[byp[i].second];
+          if (t.deleted) continue;
+          uint32_t c = t.child;
+          if (clusters_[c].nbrs.size() > 2) continue;  // stays attached
+          if (cc.center_child != 0 && cc.rake_index_valid)
+            rake_index_remove(cur, c);
+          remove_child(cur, c);
+          std::atomic_ref<uint32_t>(clusters_[c].parent)
+              .store(0, std::memory_order_relaxed);
+          rooted[g].push_back(c);
+        }
+        next[g] = {cur, false};
+      }
     });
 
-    // Aggregates: children and adjacency are final; one task per parent.
-    parallel_for(0, parents.size(),
-                 [&](size_t i) { recompute_aggregates(parents[i]); });
+    // Phase boundary: collect re-rooted clusters, doomed ids, and dirt.
+    std::vector<uint32_t> newly_doomed;
+    for (size_t g = 0; g < ngroups; ++g) {
+      for (uint32_t c : rooted[g]) root_into_frontier(c);
+      if (died[g]) {
+        newly_doomed.push_back(next[g].child);
+      } else {
+        dirty_.push_back(next[g].child);
+      }
+    }
+    doomed_list_.insert(doomed_list_.end(), newly_doomed.begin(),
+                        newly_doomed.end());
 
-    frontier = std::move(parents);
+    // Remove this round's doomed clusters from their surviving neighbors'
+    // adjacency (grouped by survivor so each list has one owner).
+    std::vector<std::pair<uint32_t, uint32_t>> cleanup;
+    for (uint32_t d : newly_doomed) {
+      for (const Adj& a : clusters_[d].nbrs)
+        if (!doomed_[a.nbr]) cleanup.emplace_back(a.nbr, d);
+    }
+    if (!cleanup.empty()) {
+      auto cgroups = group_by_key(cleanup);
+      parallel_for(0, cgroups.size(), [&](size_t g) {
+        auto [begin, end] = cgroups[g];
+        std::vector<uint32_t> targets(end - begin);
+        for (size_t i = begin; i < end; ++i)
+          targets[i - begin] = cleanup[i].second;
+        std::sort(targets.begin(), targets.end());
+        adj_remove_batch(cleanup[begin].first, targets);
+      });
+      for (const auto& [begin, end] : cgroups) {
+        dirty_.push_back(cleanup[begin].first);
+        revalidate_.push_back(cleanup[begin].first);  // degree dropped
+      }
+    }
+    toks = std::move(next);
+  }
+}
+
+void UfoTree::force_detach(uint32_t c) {
+  uint32_t p = clusters_[c].parent;
+  assert(p != 0);
+  Cluster& pc = clusters_[p];
+  if (pc.center_child != 0 && pc.center_child != c && pc.rake_index_valid)
+    rake_index_remove(p, c);
+  remove_child(p, c);
+  clusters_[c].parent = 0;
+  root_into_frontier(c);
+  dirty_.push_back(p);
+}
+
+void UfoTree::drain_revalidate() {
+  while (!revalidate_.empty()) {
+    std::vector<uint32_t> check = std::move(revalidate_);
+    revalidate_.clear();
+    remove_duplicates(check);
+    check = filter(check,
+                   [&](uint32_t q) { return alive(q) && !doomed_[q]; });
+    // Collect broken participants. Walk targets (degree <= 2) go through
+    // the guarded teardown; a high-degree cluster whose rake role broke is
+    // detached directly. Parentless clusters are skipped — the frontier
+    // round that picks them up enforces maximality itself.
+    std::vector<uint32_t> walk_targets;
+    std::vector<uint32_t> forced;
+    auto lists = map(check.size(), [&](size_t i) {
+      std::pair<std::vector<uint32_t>, std::vector<uint32_t>> out;
+      uint32_t q = check[i];
+      const Cluster& qc = clusters_[q];
+      if (qc.parent == 0) return out;
+      if (qc.nbrs.size() >= 3) {
+        for (const Adj& a : qc.nbrs) {
+          const Cluster& wc = clusters_[a.nbr];
+          if (wc.nbrs.size() == 1 && wc.parent != 0 &&
+              wc.parent != qc.parent)
+            out.first.push_back(a.nbr);  // must be raked beside q
+        }
+        const Cluster& pq = clusters_[qc.parent];
+        if (pq.center_child != 0 && pq.center_child != q)
+          out.second.push_back(q);  // a rake must have degree 1
+      } else if (qc.nbrs.size() == 1) {
+        uint32_t z = qc.nbrs[0].nbr;
+        const Cluster& zc = clusters_[z];
+        if (zc.nbrs.size() >= 3 && zc.parent != 0 && zc.parent != qc.parent)
+          out.first.push_back(q);  // must be raked beside z
+      }
+      return out;
+    });
+    for (auto& l : lists) {
+      walk_targets.insert(walk_targets.end(), l.first.begin(),
+                          l.first.end());
+      forced.insert(forced.end(), l.second.begin(), l.second.end());
+    }
+    if (walk_targets.empty() && forced.empty()) break;
+    remove_duplicates(forced);
+    for (uint32_t c : forced)
+      if (clusters_[c].parent != 0) force_detach(c);
+    remove_duplicates(walk_targets);
+    walk_targets = filter(walk_targets, [&](uint32_t c) {
+      return alive(c) && !doomed_[c] && clusters_[c].parent != 0;
+    });
+    if (!walk_targets.empty()) {
+      claims_.begin_phase(clusters_.size());
+      walk_targets = filter(
+          walk_targets, [&](uint32_t y) { return claims_.claim(y, y); });
+      std::vector<Token> toks(walk_targets.size());
+      parallel_for(0, walk_targets.size(),
+                   [&](size_t i) { toks[i] = {walk_targets[i], false}; });
+      teardown_pass(std::move(toks));
+    }
+  }
+}
+
+void UfoTree::batch_update(const std::vector<Update>& batch) {
+  if (batch.empty()) return;
+  ensure_scratch();
+  std::vector<Update> dels =
+      filter(batch, [](const Update& u) { return u.is_delete; });
+  std::vector<Update> inss =
+      filter(batch, [](const Update& u) { return !u.is_delete; });
+  // 1. Deleted edges leave every level of the intact chains first, so the
+  //    teardown's survival guards see post-delete degrees (matches seq).
+  if (!dels.empty()) edge_level_ops(dels, /*insert=*/false);
+  // 2. Path-granular teardown from the endpoint leaves.
+  std::vector<uint32_t> leaves(2 * batch.size());
+  parallel_for(0, batch.size(), [&](size_t i) {
+    assert(batch[i].u != batch[i].v && "self-loop in batch");
+    leaves[2 * i] = leaf_id(batch[i].u);
+    leaves[2 * i + 1] = leaf_id(batch[i].v);
+  });
+  remove_duplicates(leaves);
+  std::vector<Token> toks(leaves.size());
+  parallel_for(0, leaves.size(),
+               [&](size_t i) { toks[i] = {leaves[i], false}; });
+  teardown_pass(std::move(toks));
+  drain_revalidate();
+  // 3. Inserted edges join every level of the surviving chains.
+  if (!inss.empty()) edge_level_ops(inss, /*insert=*/true);
+  // 4. Recluster the detached frontier level-synchronously.
+  contract_frontier();
+  // 5. Refresh every surviving ancestor's aggregates bottom-up.
+  flush_dirty();
+  // 6. Recycle the doomed clusters (concurrent reset, serial free-list
+  //    append at the phase boundary).
+  parallel_for(0, doomed_list_.size(), [&](size_t i) {
+    uint32_t d = doomed_list_[i];
+    reset_cluster(d);
+    doomed_[d] = 0;
+  });
+  free_.insert(free_.end(), doomed_list_.begin(), doomed_list_.end());
+  doomed_list_.clear();
+}
+
+void UfoTree::contract_frontier() {
+  size_t l = 0;
+  while (l < frontier_.size()) {
+    if (frontier_[l].empty()) {
+      ++l;
+      continue;
+    }
+    std::vector<uint32_t> batch = std::move(frontier_[l]);
+    frontier_[l].clear();
+    // Stay at l until it drains: a round can re-root more clusters here
+    // (walklets detaching survivors never root below the level they start
+    // from, so the sweep only ever moves up).
+    contract_round(static_cast<int32_t>(l), std::move(batch));
+  }
+}
+
+void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
+  ensure_scratch();
+  remove_duplicates(raw);
+  std::vector<uint32_t> active = filter(raw, [&](uint32_t c) {
+    return alive(c) && !doomed_[c] && clusters_[c].parent == 0 &&
+           clusters_[c].level == lvl;
+  });
+  // Everything entering a round gets fresh aggregates: shed survivors lost
+  // a child, frontier leaves changed adjacency. Idempotent for new parents.
+  parallel_for(0, active.size(),
+               [&](size_t i) { recompute_aggregates(active[i]); });
+  active = filter(active,
+                  [&](uint32_t c) { return !clusters_[c].nbrs.empty(); });
+  if (active.empty()) return;  // completed tree roots only
+
+  // Phase 1: detach fixpoint. Two obligations against the surviving
+  // hierarchy: (a) an active high-degree cluster must rake in every
+  // degree-1 neighbor — including ones still attached to a surviving
+  // parent (fanout-1 towers, never rakes or pair children, since their
+  // single edge points at the active cluster); (b) an active degree-1
+  // cluster next to an attached high-degree neighbor must rake-attach into
+  // that neighbor's parent, so a parent that cannot center the neighbor (a
+  // pair merge whose child drifted to degree >= 3) has the neighbor
+  // detached instead — it then re-enters this level as an active center.
+  // Walk requests are deduplicated with a per-cluster ownership CAS: the
+  // first claimer owns the walk, and any loser simply finds the target
+  // active (re-rooted at this level) in the next sweep.
+  for (;;) {
+    auto lists = map(active.size(), [&](size_t i) {
+      std::pair<std::vector<uint32_t>, std::vector<uint32_t>> out;
+      uint32_t c = active[i];
+      if (clusters_[c].nbrs.size() >= 3) {
+        for (const Adj& a : clusters_[c].nbrs) {
+          uint32_t y = a.nbr;
+          if (clusters_[y].parent != 0 && clusters_[y].nbrs.size() == 1)
+            out.first.push_back(y);
+        }
+      } else if (clusters_[c].nbrs.size() == 1) {
+        uint32_t y = clusters_[c].nbrs[0].nbr;
+        if (clusters_[y].parent != 0 && clusters_[y].nbrs.size() >= 3) {
+          const Cluster& pyc = clusters_[clusters_[y].parent];
+          bool can_center =
+              pyc.center_child == y ||
+              (pyc.center_child == 0 && pyc.children.size() == 1);
+          if (!can_center) out.second.push_back(y);
+        }
+      }
+      return out;
+    });
+    std::vector<uint32_t> targets;
+    std::vector<uint32_t> forced;
+    for (auto& l : lists) {
+      targets.insert(targets.end(), l.first.begin(), l.first.end());
+      forced.insert(forced.end(), l.second.begin(), l.second.end());
+    }
+    if (targets.empty() && forced.empty()) break;
+    remove_duplicates(forced);
+    for (uint32_t y : forced)
+      if (alive(y) && !doomed_[y] && clusters_[y].parent != 0)
+        force_detach(y);
+    if (!targets.empty()) {
+      claims_.begin_phase(clusters_.size());
+      targets = filter(targets,
+                       [&](uint32_t y) { return claims_.claim(y, y); });
+      std::vector<Token> toks(targets.size());
+      parallel_for(0, targets.size(),
+                   [&](size_t i) { toks[i] = {targets[i], false}; });
+      teardown_pass(std::move(toks));
+    }
+    // Absorb clusters the detaches re-rooted at this level.
+    std::vector<uint32_t> fresh;
+    if (static_cast<size_t>(lvl) < frontier_.size()) {
+      fresh = std::move(frontier_[lvl]);
+      frontier_[lvl].clear();
+    }
+    remove_duplicates(fresh);
+    fresh = filter(fresh, [&](uint32_t c) {
+      return alive(c) && !doomed_[c] && clusters_[c].parent == 0 &&
+             clusters_[c].level == lvl;
+    });
+    parallel_for(0, fresh.size(),
+                 [&](size_t i) { recompute_aggregates(fresh[i]); });
+    fresh = filter(fresh,
+                   [&](uint32_t c) { return !clusters_[c].nbrs.empty(); });
+    if (fresh.empty()) break;  // targets were all shed without new roots
+    active.insert(active.end(), fresh.begin(), fresh.end());
+    remove_duplicates(active);
+    active = filter(active, [&](uint32_t c) {
+      return clusters_[c].parent == 0 && !doomed_[c];
+    });
+  }
+
+  size_t m = active.size();
+  ++round_;
+
+  // Phase 2: roles.
+  parallel_for(0, m, [&](size_t i) { set_role(active[i], kFree); });
+  parallel_for(0, m, [&](size_t i) {
+    uint32_t c = active[i];
+    if (clusters_[c].nbrs.size() >= 3) set_role(c, kCenter);
+  });
+  // Degree-1 clusters: rake under an active center, or rake-attach into a
+  // surviving superunary whose center is their (attached) neighbor (the
+  // phase-1 fixpoint already detached neighbors whose parent cannot center
+  // them).
+  std::vector<std::pair<uint32_t, uint32_t>> engaged;  // (survivor parent, c)
+  {
+    auto lists = map(m, [&](size_t i) {
+      std::pair<uint32_t, uint32_t> none{0, 0};
+      uint32_t c = active[i];
+      if (clusters_[c].nbrs.size() != 1) return none;
+      uint32_t y = clusters_[c].nbrs[0].nbr;
+      if (role_of(y) == kCenter) {
+        set_role(c, kRaked);
+        return none;
+      }
+      if (role_of(y) == kNone && clusters_[y].parent != 0 &&
+          clusters_[y].nbrs.size() >= 3) {
+        set_role(c, kEngaged);
+        return std::pair<uint32_t, uint32_t>{clusters_[y].parent, c};
+      }
+      return none;
+    });
+    for (auto& e : lists)
+      if (e.second != 0) engaged.push_back(e);
+  }
+
+  // Phase B: randomized mutual-proposal matching over the remaining
+  // degree <= 2 clusters (their eligible subgraph is a disjoint union of
+  // paths — a contracted forest has no cycles). Each round, every unmatched
+  // eligible cluster proposes to its eligible neighbor with the highest
+  // salted hash; mutual proposals pair up. The hash-maximal eligible
+  // cluster with an eligible neighbor always lands a mutual proposal, so a
+  // round with no new pairs proves the eligible edge set empty; random
+  // salts pair an expected constant fraction per round.
+  std::vector<uint32_t> pairs;  // anchors; partner = proposal_[anchor]
+  std::vector<uint32_t> matchable =
+      filter(active, [&](uint32_t c) { return role_of(c) == kFree; });
+  while (!matchable.empty()) {
+    uint64_t salt = util::hash64(round_salt_++);
+    auto rank = [&](uint32_t d) { return util::hash64(salt ^ d); };
+    parallel_for(0, matchable.size(), [&](size_t i) {
+      uint32_t c = matchable[i];
+      uint32_t best = 0;
+      uint64_t besth = 0;
+      for (const Adj& a : clusters_[c].nbrs) {
+        uint32_t d = a.nbr;
+        if (role_of(d) != kFree) continue;
+        uint64_t h = rank(d);
+        if (best == 0 || h > besth || (h == besth && d > best)) {
+          best = d;
+          besth = h;
+        }
+      }
+      proposal_[c] = best;  // 0 = no eligible neighbor
+    });
+    std::vector<uint32_t> fresh = filter(matchable, [&](uint32_t c) {
+      uint32_t d = proposal_[c];
+      return d != 0 && proposal_[d] == c && c < d;
+    });
+    if (fresh.empty()) break;  // no eligible edges remain (see above)
+    parallel_for(0, fresh.size(), [&](size_t i) {
+      uint32_t c = fresh[i];
+      set_role(c, kPaired);
+      set_role(proposal_[c], kPaired);  // distinct pairs: disjoint writes
+    });
+    pairs.insert(pairs.end(), fresh.begin(), fresh.end());
+    matchable =
+        filter(matchable, [&](uint32_t c) { return role_of(c) == kFree; });
+  }
+
+  std::vector<uint32_t> centers =
+      filter(active, [&](uint32_t c) { return role_of(c) == kCenter; });
+  std::vector<uint32_t> singles =
+      filter(active, [&](uint32_t c) { return role_of(c) == kFree; });
+
+  // Phase 3a: rake-attach into surviving superunary parents, grouped so one
+  // task owns each target parent and extends its rake index with a single
+  // parallel sorted-run bulk merge (this is the star's hot path).
+  std::vector<uint8_t> target_rooted(engaged.size(), 0);
+  std::vector<std::pair<size_t, size_t>> egroups;
+  if (!engaged.empty()) {
+    egroups = group_by_key(engaged);
+    parallel_for(0, egroups.size(), [&](size_t g) {
+      auto [begin, end] = egroups[g];
+      uint32_t py = engaged[begin].first;
+      Cluster& pyc = clusters_[py];
+      uint32_t y = clusters_[engaged[begin].second].nbrs[0].nbr;
+      if (pyc.center_child == 0) {
+        // A fanout-1 extension of y gains its first rakes: it becomes a
+        // high-degree merge centered on y (y kept degree >= 3, so its
+        // boundary is already the single center vertex).
+        assert(pyc.children.size() == 1 && pyc.children[0] == y);
+        pyc.center_child = y;
+        rake_index_clear(py);
+        pyc.rake_index_valid = true;
+      }
+      assert(pyc.center_child == y && "rake-attach target must center y");
+      std::vector<uint32_t> newly(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        newly[i - begin] = engaged[i].second;
+        add_child(py, engaged[i].second);
+      }
+      if (pyc.rake_index_valid) rake_index_bulk_add(py, newly);
+      if (pyc.parent == 0) target_rooted[g] = 1;
+    });
+    for (size_t g = 0; g < egroups.size(); ++g) {
+      uint32_t py = engaged[egroups[g].first].first;
+      dirty_.push_back(py);
+      // A parentless target re-contracts at its own level (dedup at round).
+      if (target_rooted[g]) root_into_frontier(py);
+    }
+  }
+
+  // Phase 3b: allocate the level's new parents at the phase boundary (the
+  // pool is sequential), then build them concurrently — each task owns one
+  // parent and its children, so all writes are disjoint.
+  size_t nc = centers.size(), np = pairs.size(), ns = singles.size();
+  std::vector<uint32_t> parents(nc + np + ns);
+  for (size_t i = 0; i < parents.size(); ++i)
+    parents[i] = alloc_cluster(lvl + 1);
+  ensure_scratch();  // the pool may have grown
+  parallel_for(0, parents.size(),
+               [&](size_t i) { set_role(parents[i], kFresh); });
+  parallel_for(0, parents.size(), [&](size_t i) {
+    uint32_t p = parents[i];
+    if (i < nc) {
+      uint32_t c = centers[i];
+      clusters_[p].center_child = c;
+      add_child(p, c);
+      for (const Adj& a : clusters_[c].nbrs)
+        if (role_of(a.nbr) == kRaked) add_child(p, a.nbr);
+    } else if (i < nc + np) {
+      uint32_t c = pairs[i - nc];
+      uint32_t d = proposal_[c];  // stable: c left `matchable` when paired
+      const Adj* a = adj_find(c, d);
+      assert(a != nullptr);
+      add_child(p, c);
+      add_child(p, d);
+      clusters_[p].merge_u = a->my_end;
+      clusters_[p].merge_v = a->other_end;
+      clusters_[p].merge_w = a->w;
+    } else {
+      add_child(p, singles[i - nc - np]);
+    }
+  });
+
+  // Phase 4: level l+1 adjacency. Every neighbor of a reclustered child has
+  // a parent by now — a parent built this round (kFresh, which projects the
+  // shared edge itself) or a surviving one, which gets the reciprocal entry
+  // appended in a per-survivor batch. A forest has at most one edge between
+  // two parents' contents, so no dedupe pass is needed.
+  std::vector<std::vector<std::pair<uint32_t, Adj>>> recip(parents.size());
+  parallel_for(0, parents.size(), [&](size_t i) {
+    uint32_t p = parents[i];
+    Cluster& pc = clusters_[p];
+    for (uint32_t c : pc.children) {
+      for (const Adj& a : clusters_[c].nbrs) {
+        uint32_t q = clusters_[a.nbr].parent;
+        assert(q != 0 && "neighbor must have been reclustered");
+        if (q == p) continue;  // merge or rake edge: now internal
+        assert(!adj_contains(p, q) &&
+               "duplicate projected edge: cycle in the batch?");
+        pc.nbrs.push_back({q, a.my_end, a.other_end, a.w});
+        if (role_of(q) != kFresh)
+          recip[i].emplace_back(
+              q, Adj{p, a.other_end, a.my_end, a.w});
+      }
+    }
+  });
+  std::vector<std::pair<uint32_t, Adj>> flat;
+  for (auto& r : recip) flat.insert(flat.end(), r.begin(), r.end());
+  if (!flat.empty()) {
+    auto rgroups = group_by_key(flat);
+    parallel_for(0, rgroups.size(), [&](size_t g) {
+      auto [begin, end] = rgroups[g];
+      uint32_t q = flat[begin].first;
+      for (size_t i = begin; i < end; ++i) {
+        assert(!adj_contains(q, flat[i].second.nbr));
+        clusters_[q].nbrs.push_back(flat[i].second);
+      }
+    });
+    for (const auto& [begin, end] : rgroups) {
+      dirty_.push_back(flat[begin].first);
+      revalidate_.push_back(flat[begin].first);  // degree grew
+    }
+  }
+
+  // Phase 5: aggregates — children and adjacency are final; one task per
+  // parent (superunary parents above the bulk threshold build their rake
+  // index with the parallel sorted-run constructor).
+  parallel_for(0, parents.size(),
+               [&](size_t i) { recompute_aggregates(parents[i]); });
+
+  // Phase 6: the new parents recluster one level up, and survivors whose
+  // degree drifted are rechecked (their detaches land strictly above lvl,
+  // so the upward sweep picks them up).
+  for (uint32_t p : parents) root_into_frontier(p);
+  drain_revalidate();
+}
+
+// Level-synchronous bottom-up refresh of every surviving cluster the batch
+// touched: recompute a level in parallel, patch the touched rake entries in
+// superunary parents (remove uses the cached contribution, add re-caches
+// from the fresh aggregates), then propagate to the parents' level.
+void UfoTree::flush_dirty() {
+  if (dirty_.empty()) return;
+  std::vector<uint32_t> all = std::move(dirty_);
+  dirty_.clear();
+  remove_duplicates(all);
+  std::vector<std::vector<uint32_t>> buckets;
+  for (uint32_t c : all) {
+    if (!alive(c) || doomed_[c]) continue;
+    size_t lvl = static_cast<size_t>(clusters_[c].level);
+    if (buckets.size() <= lvl) buckets.resize(lvl + 1);
+    buckets[lvl].push_back(c);
+  }
+  for (size_t l = 0; l < buckets.size(); ++l) {
+    std::vector<uint32_t> items = std::move(buckets[l]);
+    remove_duplicates(items);
+    items = filter(items, [&](uint32_t c) {
+      return alive(c) && !doomed_[c] &&
+             clusters_[c].level == static_cast<int32_t>(l);
+    });
+    if (items.empty()) continue;
+    parallel_for(0, items.size(),
+                 [&](size_t i) { recompute_aggregates(items[i]); });
+    std::vector<std::pair<uint32_t, uint32_t>> stale;  // (parent, rake)
+    for (uint32_t c : items) {
+      uint32_t p = clusters_[c].parent;
+      if (p == 0 || doomed_[p]) continue;
+      if (buckets.size() <= l + 1) buckets.resize(l + 2);
+      buckets[l + 1].push_back(p);
+      const Cluster& pc = clusters_[p];
+      if (pc.center_child != 0 && pc.center_child != c &&
+          pc.rake_index_valid)
+        stale.emplace_back(p, c);
+    }
+    if (!stale.empty()) {
+      auto sgroups = group_by_key(stale);
+      parallel_for(0, sgroups.size(), [&](size_t g) {
+        auto [begin, end] = sgroups[g];
+        for (size_t i = begin; i < end; ++i) {
+          rake_index_remove(stale[i].first, stale[i].second);
+          rake_index_add(stale[i].first, stale[i].second);
+        }
+      });
+    }
   }
 }
 

@@ -1,36 +1,49 @@
 // par::UfoTree — the parallel batch-dynamic UFO tree (Section 5).
 //
 // Same cluster hierarchy and query suite as seq::UfoTree (both derive from
-// core::UfoCore), but batch_link / batch_cut / batch_update run the
-// level-synchronous parallel algorithm on the fork-join runtime:
+// core::UfoCore), but batch_link / batch_cut / batch_update run a
+// *path-granular* level-synchronous parallel algorithm on the fork-join
+// runtime:
 //
-//   1. Leaf phase: the batch's endpoint set and the affected component
-//      roots are collected into phase-concurrent ConcurrentSets, and the
-//      (mutually independent) edge updates are applied to leaf adjacency in
-//      parallel, one task per endpoint group (par::group_by_key).
-//   2. Teardown: the affected components' internal clusters are collected
-//      level by level (parallel frontier expansion with a prefix-sum
-//      flatten) and recycled; their leaves become the level-0 frontier.
-//   3. Per-level rounds: each level's frontier is reclustered concurrently —
-//      phase A gives every high-degree cluster a superunary parent that
-//      rakes in all of its degree-1 neighbors; phase B pairs the remaining
-//      degree <= 2 clusters with a randomized mutual-proposal matching
-//      (rounds of parallel propose/accept until the eligible edge set is
-//      exhausted — each round pairs a constant expected fraction, so a
-//      level finishes in O(log) rounds w.h.p.); leftovers get fanout-1
-//      parents. New parents then build their adjacency and recompute their
-//      aggregates concurrently (disjoint writes: each task owns one parent
-//      and its children).
+//   1. Delete propagation: deleted edges are removed from every level of
+//      the (still intact) endpoint ancestor chains — one parallel walk per
+//      update emits (cluster, neighbor) removal ops, which are semisorted
+//      by cluster and applied with one compaction pass per touched cluster
+//      (so k deletions against one high-degree cluster cost O(degree + k),
+//      not O(degree * k)).
+//   2. Teardown: only the union of the endpoints' ancestor paths is torn
+//      down (the paper's Algorithm 1 guard, run level-synchronously):
+//      walks climb one level per round, converging walks are merged by
+//      semisorting on the parent, low-degree/low-fanout ancestors are
+//      deleted (children re-rooted into a per-level frontier), and
+//      surviving high-degree/high-fanout ancestors merely shed their
+//      low-degree walk child. A batch of k updates therefore costs
+//      O(k * height) teardown work regardless of component size.
+//   3. Insert propagation: new edges are added at every level where both
+//      endpoints' surviving chains have distinct clusters (all such chain
+//      clusters kept degree >= 3 through the teardown guard, so the new
+//      projections attach at their single boundary vertex).
+//   4. Reclustering: the detached frontier is reclustered level by level
+//      with the phase-A superunary + randomized mutual-proposal pair
+//      matching rounds. Frontier clusters interact with the *surviving*
+//      hierarchy: an active degree-1 cluster next to an attached
+//      high-degree neighbor rake-attaches into that neighbor's superunary
+//      parent (detach requests are deduplicated with a per-cluster
+//      ownership CAS — the winner runs the walk, losers rely on the target
+//      re-entering the frontier — and each parent's rake index is extended
+//      with one parallel sorted-run bulk merge); attached degree-1
+//      neighbors of active centers are detached by the same teardown
+//      machinery and raked in.
+//   5. A final level-synchronous flush recomputes the aggregates of every
+//      surviving ancestor bottom-up, refreshing cached rake contributions
+//      in superunary parents along the way.
 //
-// Affected granularity is the *component*: a batch rebuilds every component
-// it touches, so a batch of k updates costs O(sum of affected component
-// sizes) work at O(height x rounds) depth, against the sequential
-// structure's O(k x height) pointer-chasing. That is the paper's target
-// regime — large batches on big forests — and the tradeoff this backend
-// makes: single link()/cut() (batches of one) cost O(component), so latency-
-// sensitive single-update workloads should keep using seq::UfoTree (the
-// README's backend matrix spells this out). Finer-than-component affected
-// sets are an open item in ROADMAP.md.
+// Affected granularity is the *ancestor path*: a small batch touching a
+// huge component costs O(k * height) instead of the previous
+// whole-component O(n) rebuild, which makes single link()/cut() (batches
+// of one) as cheap as seq::UfoTree's and removes the backend's former
+// latency caveat. Large batches keep the level-synchronous sharing that
+// made the old backend fast on path/pref-attach inputs.
 //
 // Determinism: results (query answers) are deterministic; the concrete
 // cluster ids/shape may vary run to run with thread interleaving, since
@@ -45,6 +58,7 @@
 
 #include "core/ufo_core.h"
 #include "graph/forest.h"
+#include "parallel/hash_table.h"
 
 namespace ufo::par {
 
@@ -52,8 +66,8 @@ class UfoTree : public core::UfoCore {
  public:
   explicit UfoTree(size_t n);
 
-  // Single updates are batches of one: correct, but O(component) — see the
-  // header comment for when to prefer seq::UfoTree.
+  // Single updates are batches of one; with path-granular teardown they
+  // cost O(height), same asymptotics as seq::UfoTree.
   void link(Vertex u, Vertex v, Weight w = 1);
   void cut(Vertex u, Vertex v);
 
@@ -65,21 +79,73 @@ class UfoTree : public core::UfoCore {
   void batch_cut(const std::vector<Edge>& edges);
 
  private:
-  // Per-level contraction role of a frontier cluster.
-  enum : uint8_t { kFree = 0, kCenter = 1, kRaked = 2, kPaired = 3 };
+  // Per-round contraction role of an active cluster. Roles live in state_
+  // tagged with the round number, so attached clusters (whose entries are
+  // stale from earlier rounds or batches) never alias an active role.
+  enum : uint8_t {
+    kNone = 0,   // not active this round
+    kFree,       // active, unassigned
+    kCenter,     // active, high-degree: center of a new superunary parent
+    kRaked,      // active, degree-1 next to an active center
+    kPaired,     // active, matched in phase B
+    kEngaged,    // active, rake-attaching into a surviving superunary
+    kFresh,      // a parent allocated this round (level above the actives)
+  };
 
-  // Distinct tree roots (old hierarchy) of the batch endpoints.
-  std::vector<uint32_t> affected_roots(const std::vector<Vertex>& endpoints);
-  // Free all internal clusters under `roots`; returns their leaves, each
-  // re-rooted (parent = 0).
-  std::vector<uint32_t> collect_affected(const std::vector<uint32_t>& roots);
-  // Apply the batch to leaf adjacency, one parallel task per endpoint.
-  void apply_leaf_updates(const std::vector<Update>& batch);
-  // Level-synchronous parallel reclustering of the torn-down region.
-  void contract(std::vector<uint32_t> frontier);
+  // A teardown walk position: the cluster the walk last visited (one level
+  // below the cluster about to be examined) and whether it was deleted.
+  struct Token {
+    uint32_t child = 0;
+    bool deleted = false;
+  };
 
-  std::vector<uint8_t> state_;      // per-cluster contraction role scratch
-  std::vector<uint32_t> proposal_;  // per-cluster proposed partner scratch
+  void ensure_scratch();
+  void set_role(uint32_t c, uint8_t role);
+  uint8_t role_of(uint32_t c) const;
+
+  // Remove the sorted `targets` from c's adjacency in one compaction pass.
+  void adj_remove_batch(uint32_t c, const std::vector<uint32_t>& targets);
+  // Apply the batch's edge updates at every level of the endpoint chains
+  // (deletions walk the intact pre-teardown chains; insertions the
+  // surviving post-teardown chains). Ops are grouped per cluster so all
+  // adjacency writes are owned by one task.
+  void edge_level_ops(const std::vector<Update>& ops, bool insert);
+  // Level-synchronous concurrent DeleteAncestors: processes walk tokens one
+  // level per round, merging converging walks on their shared parent (the
+  // walks only ever ascend, so tokens at mixed levels compose). Detached
+  // clusters are re-rooted into frontier_ by level; doomed clusters are
+  // flagged and recycled at the end of the batch.
+  void teardown_pass(std::vector<Token> tokens);
+  void root_into_frontier(uint32_t c);
+  // Detach c from its surviving parent (no survival-guard walk: used when
+  // c's role under that parent is structurally broken) and re-root it.
+  void force_detach(uint32_t c);
+  // Revalidation of survivors whose adjacency changed (doomed-neighbor
+  // cleanup, reciprocal projections): degree drift can break the
+  // high-degree maximality invariant — an attached cluster reaching
+  // degree >= 3 next to a degree-1 neighbor parented elsewhere, or
+  // dropping to degree 1 next to an attached high-degree neighbor. Broken
+  // participants are detached (teardown walklets / force_detach) and
+  // re-enter the frontier, which restores maximality when their level
+  // re-contracts. The parallel analogue of seq::UfoTree::repair.
+  void drain_revalidate();
+  // Recluster the per-level frontier bottom-up until empty.
+  void contract_frontier();
+  void contract_round(int32_t lvl, std::vector<uint32_t> raw);
+  // Level-synchronous bottom-up aggregate refresh of every surviving
+  // cluster touched by the batch (and their ancestors), refreshing cached
+  // rake contributions in superunary parents on the way up.
+  void flush_dirty();
+
+  std::vector<uint64_t> state_;  // (round << 3) | role, see role_of()
+  uint64_t round_ = 0;
+  std::vector<uint32_t> proposal_;   // phase-B proposed partner scratch
+  std::vector<uint8_t> doomed_;      // flagged for recycling at batch end
+  std::vector<uint32_t> doomed_list_;
+  std::vector<std::vector<uint32_t>> frontier_;  // parentless, per level
+  std::vector<uint32_t> dirty_;      // survivors needing aggregate refresh
+  std::vector<uint32_t> revalidate_;  // survivors whose adjacency changed
+  ClaimTable claims_;                // ownership CAS for detach/attach dedupe
   uint64_t round_salt_ = 0x243f6a8885a308d3ULL;  // pairing round seed
 };
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -104,23 +105,86 @@ std::vector<T> filter(const std::vector<T>& v, Pred&& pred) {
   return out;
 }
 
-// Parallel merge sort. Stable at the leaves (std::stable_sort) so semisort
-// groups preserve input order within a group.
+// Stable parallel merge of two sorted runs into `out`. Splits the larger
+// run at its midpoint, binary-searches the split key in the other run, and
+// recurses on both halves in parallel — O(n) work, O(log^2 n) depth.
+// Stability: b-elements equal to the a-side split key land in the right
+// half (lower_bound), so equal a-elements always precede equal b-elements.
+template <class T, class Cmp>
+void par_merge_into(const T* a, size_t na, const T* b, size_t nb, T* out,
+                    const Cmp& cmp) {
+  constexpr size_t kSerialMerge = 8192;
+  if (na + nb <= kSerialMerge) {
+    std::merge(a, a + na, b, b + nb, out, cmp);
+    return;
+  }
+  if (na >= nb) {
+    size_t ma = na / 2;
+    size_t mb = static_cast<size_t>(
+        std::distance(b, std::lower_bound(b, b + nb, a[ma], cmp)));
+    par_do([&] { par_merge_into(a, ma, b, mb, out, cmp); },
+           [&] { par_merge_into(a + ma, na - ma, b + mb, nb - mb,
+                                out + ma + mb, cmp); });
+  } else {
+    // Split b instead; a-elements equal to the b-side split key must stay
+    // in the LEFT half to keep a-before-b order (upper_bound).
+    size_t mb = nb / 2;
+    size_t ma = static_cast<size_t>(
+        std::distance(a, std::upper_bound(a, a + na, b[mb], cmp)));
+    par_do([&] { par_merge_into(a, ma, b, mb, out, cmp); },
+           [&] { par_merge_into(a + ma, na - ma, b + mb, nb - mb,
+                                out + ma + mb, cmp); });
+  }
+}
+
+// Parallel merge sort with a fully parallel merge step (the classic
+// ping-pong scheme between the data and a scratch buffer): O(n log n) work
+// and polylog depth, against the previous serial std::inplace_merge whose
+// top-level merge alone was O(n) depth. Stable at the leaves
+// (std::stable_sort) and across merges (par_merge_into) so semisort groups
+// preserve input order within a group.
 template <class T, class Cmp>
 void sort(std::vector<T>& v, Cmp cmp) {
   constexpr size_t kLeaf = 8192;
   struct Rec {
-    static void go(T* data, size_t n, Cmp& cmp) {
+    // Sorts data[0, n); the result lands in data (to_scratch = false) or
+    // scratch (to_scratch = true). Halves are sorted into the *other*
+    // buffer, then merged into the target.
+    static void go(T* data, T* scratch, size_t n, const Cmp& cmp,
+                   bool to_scratch) {
       if (n <= kLeaf) {
         std::stable_sort(data, data + n, cmp);
+        if (to_scratch) std::copy(data, data + n, scratch);
         return;
       }
       size_t half = n / 2;
-      par_do([&] { go(data, half, cmp); }, [&] { go(data + half, n - half, cmp); });
-      std::inplace_merge(data, data + half, data + n, cmp);
+      par_do([&] { go(data, scratch, half, cmp, !to_scratch); },
+             [&] {
+               go(data + half, scratch + half, n - half, cmp, !to_scratch);
+             });
+      const T* lo = to_scratch ? data : scratch;
+      T* dst = to_scratch ? scratch : data;
+      par_merge_into(lo, half, lo + half, n - half, dst, cmp);
     }
   };
-  Rec::go(v.data(), v.size(), cmp);
+  if (v.size() <= kLeaf) {
+    std::stable_sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  std::vector<T> scratch(v.size());
+  Rec::go(v.data(), scratch.data(), v.size(), cmp, /*to_scratch=*/false);
+}
+
+// Canonical name used by the batch-update algorithms (mirrors the paper's
+// parallel sort primitive).
+template <class T, class Cmp>
+void par_sort(std::vector<T>& v, Cmp cmp) {
+  sort(v, cmp);
+}
+
+template <class T>
+void par_sort(std::vector<T>& v) {
+  sort(v, std::less<T>{});
 }
 
 template <class T>

@@ -1,5 +1,6 @@
 #include "parallel/scheduler.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -11,11 +12,45 @@ namespace ufo::par {
 
 namespace {
 
-// A centralized task pool. Simple by design: at laptop scale the contraction
-// algorithms spend their time in user work, not in scheduling, and a mutex
-// queue keeps the helping logic easy to reason about. The public API matches
-// a work-stealing scheduler, so the pool can be swapped out without touching
-// any algorithm code.
+// A work-stealing pool: every worker owns a deque and works LIFO off its
+// back (hot caches, depth-first fork order), while thieves take FIFO off
+// the front (big, old subtrees — the classic steal-half-the-range effect
+// for the recursive primitives). Each deque has its own lock with critical
+// sections of a few instructions, so the previous single mutex + condvar
+// around one shared queue — which serialized every submit/pop at high
+// worker counts — is gone; the only global state is the sleep bookkeeping.
+// The public API (submit / try_run_one / help_while*) is unchanged, so no
+// algorithm code is touched.
+class WorkDeque {
+ public:
+  void push(std::function<void()> task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+
+  // Owner side: newest task first.
+  bool pop(std::function<void()>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    *out = std::move(tasks_.back());
+    tasks_.pop_back();
+    return true;
+  }
+
+  // Thief side: oldest task first.
+  bool steal(std::function<void()>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    *out = std::move(tasks_.front());
+    tasks_.pop_front();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<std::function<void()>> tasks_;
+};
+
 class Pool {
  public:
   static Pool& instance() {
@@ -26,31 +61,42 @@ class Pool {
   int workers() const { return workers_; }
 
   void submit(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      tasks_.push_back(std::move(task));
+    deques_[slot()].push(std::move(task));
+    // seq_cst pairs with the sleeper protocol in worker_loop: if this
+    // increment is not visible to a worker's re-check under sleep_mu_,
+    // then that worker's sleepers_ increment is visible here and we take
+    // the lock to notify — no lost wakeup without locking on the fast
+    // path (sleepers_ == 0 while the pool is busy).
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(sleep_mu_);
+      cv_.notify_one();
     }
-    cv_.notify_one();
   }
 
-  // Try to run one pending task. Returns false if the queue was empty.
+  // Run one pending task — own deque first, then steal in a rotating sweep.
+  // Returns false if every deque came up empty.
   bool try_run_one() {
     std::function<void()> task;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (tasks_.empty()) return false;
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+    size_t self = slot();
+    if (!deques_[self].pop(&task)) {
+      size_t n = deques_.size();
+      size_t start = victim_seed()++;
+      bool found = false;
+      for (size_t i = 0; i < n && !found; ++i) {
+        size_t v = (start + i) % n;
+        if (v == self) continue;
+        found = deques_[v].steal(&task);
+      }
+      if (!found) return false;
     }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
     task();
     return true;
   }
 
   ~Pool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
+    stop_.store(true, std::memory_order_release);
     cv_.notify_all();
     for (auto& t : threads_) t.join();
   }
@@ -58,8 +104,14 @@ class Pool {
  private:
   Pool() {
     workers_ = default_workers();
+    // One deque per pool thread plus one shared by external submitters
+    // (the main thread and any other caller hash to slot 0).
+    deques_ = std::vector<WorkDeque>(static_cast<size_t>(workers_));
     for (int i = 1; i < workers_; ++i) {
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, i] {
+        tls_slot() = static_cast<size_t>(i);
+        worker_loop();
+      });
     }
   }
 
@@ -72,26 +124,53 @@ class Pool {
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
 
+  static size_t& tls_slot() {
+    thread_local size_t slot = 0;  // external threads share deque 0
+    return slot;
+  }
+
+  size_t slot() const { return tls_slot() % deques_.size(); }
+
+  static size_t& victim_seed() {
+    thread_local size_t seed =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return seed;
+  }
+
   void worker_loop() {
+    constexpr int kSpins = 64;  // brief steal-spin before sleeping
     for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-        if (stop_ && tasks_.empty()) return;
-        task = std::move(tasks_.front());
-        tasks_.pop_front();
+      if (stop_.load(std::memory_order_acquire)) return;
+      bool ran = false;
+      for (int s = 0; s < kSpins && !ran; ++s) {
+        ran = try_run_one();
+        if (!ran) std::this_thread::yield();
       }
-      task();
+      if (ran) continue;
+      // Precise sleep: register as a sleeper, then re-check for work under
+      // the lock before blocking indefinitely. A submit that misses our
+      // sleepers_ increment (seq_cst) must have published its pending_
+      // increment first, so the predicate re-check sees it; a submit that
+      // sees the increment notifies under sleep_mu_. Either way no wakeup
+      // is lost, and an idle pool blocks at zero cost.
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_seq_cst) > 0;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
 
   int workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  std::vector<WorkDeque> deques_;
   std::vector<std::thread> threads_;
-  bool stop_ = false;
+  std::atomic<size_t> pending_{0};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable cv_;
 };
 
 }  // namespace

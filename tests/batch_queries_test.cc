@@ -9,6 +9,7 @@
 #include "core/batch_queries.h"
 #include "graph/generators.h"
 #include "graph/ref_forest.h"
+#include "parallel/par_ufo_tree.h"
 #include "seq/topology_tree.h"
 #include "seq/ufo_tree.h"
 #include "util/random.h"
@@ -18,6 +19,7 @@ namespace {
 
 // Compile-time capability matrix: const-queryable vs self-adjusting.
 static_assert(ConstQueryable<seq::UfoTree>);
+static_assert(ConstQueryable<par::UfoTree>);
 static_assert(ConstQueryable<seq::TopologyTree>);
 
 TEST(BatchQueries, ConnectedMatchesScalar) {
@@ -96,6 +98,35 @@ TEST(BatchQueries, LcaMatchesScalar) {
   std::vector<Vertex> got = batch_lca(t, q);
   for (size_t i = 0; i < q.size(); ++i)
     ASSERT_EQ(got[i], t.lca(q[i][0], q[i][1], q[i][2])) << i;
+}
+
+TEST(BatchQueries, ParUfoBackendAndPathLength) {
+  // The parallel backend shares the const query suite through
+  // core::UfoCore, so batch queries fan out over it unchanged — and its
+  // updates arrive in batches, making the hierarchy the path-granular
+  // teardown leaves behind the one being queried.
+  constexpr size_t n = 300;
+  par::UfoTree t(n);
+  EdgeList edges = gen::pref_attach(n, 7);
+  util::SplitMix64 rng(6);
+  for (Edge& e : edges) e.w = 1 + static_cast<Weight>(rng.next(99));
+  t.batch_link(edges);
+
+  std::vector<VertexPair> q;
+  for (int i = 0; i < 4000; ++i) {
+    Vertex u = static_cast<Vertex>(rng.next(n));
+    Vertex v = static_cast<Vertex>(rng.next(n));
+    if (u == v) v = (v + 1) % n;
+    q.emplace_back(u, v);
+  }
+  std::vector<uint8_t> conn = batch_connected(t, q);
+  std::vector<Weight> sums = batch_path_sum(t, q);
+  std::vector<int64_t> lens = batch_path_length(t, q);
+  for (size_t i = 0; i < q.size(); ++i) {
+    ASSERT_EQ(conn[i] != 0, t.connected(q[i].first, q[i].second)) << i;
+    ASSERT_EQ(sums[i], t.path_sum(q[i].first, q[i].second)) << i;
+    ASSERT_EQ(lens[i], t.path_length(q[i].first, q[i].second)) << i;
+  }
 }
 
 TEST(BatchQueries, TopologyTreeBackend) {
