@@ -1,0 +1,66 @@
+// Overhead guard for the telemetry layer: proves that an
+// instrumented-but-disabled build (UFO_OBSERVABILITY=OFF, the default)
+// costs nothing measurable against the pre-instrumentation seed.
+//
+// Two measurements, both printed with the build mode so BENCH.md can record
+// OFF-vs-seed and OFF-vs-ON side by side:
+//   1. A tight arithmetic loop with a UFO_STAT at every iteration — the
+//      per-site cost in isolation (ns/iter; OFF must match a bare loop).
+//   2. The star row of the small-batch sweep (n=50k, k=1000, 10 rounds),
+//      the instrumentation-heaviest real workload (superunary teardown +
+//      rake-index bulk path), repeated `reps` times.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "parallel/par_ufo_tree.h"
+#include "util/timer.h"
+
+using namespace ufo;
+using namespace ufo::bench;
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  size_t n = opt.n ? opt.n : 50000;
+  size_t k = opt.batch ? opt.batch : 1000;
+  int reps = opt.quick ? 1 : 3;
+#if defined(UFO_OBSERVABILITY) && UFO_OBSERVABILITY
+  std::printf("[obs-overhead] UFO_OBSERVABILITY=ON\n");
+#else
+  std::printf("[obs-overhead] UFO_OBSERVABILITY=OFF\n");
+#endif
+
+  {
+    // The volatile sink keeps the loop when UFO_STAT compiles away.
+    volatile uint64_t sink = 0;
+    uint64_t iters = opt.quick ? 10'000'000 : 100'000'000;
+    util::Timer t;
+    for (uint64_t i = 0; i < iters; ++i) {
+      sink = sink + i;
+      UFO_STAT("obs.overhead.iter", 1);
+    }
+    double s = t.elapsed();
+    std::printf("macro site: %" PRIu64 " iters, %.4f s, %.3f ns/iter\n",
+                iters, s, 1e9 * s / static_cast<double>(iters));
+  }
+
+  for (int r = 0; r < reps; ++r) {
+    double s = small_batch_rounds_seconds<par::UfoTree>(n, gen::star(n), k,
+                                                        10, 4);
+    std::printf("star n=%zu k=%zu rounds=10: %.6f s\n", n, k, s);
+  }
+  if (!opt.json.empty()) {
+    obs::JsonWriter cfg;
+    cfg.begin_object();
+    cfg.key("n");
+    cfg.value(static_cast<uint64_t>(n));
+    cfg.key("k");
+    cfg.value(static_cast<uint64_t>(k));
+    cfg.end_object();
+    write_bench_json(opt.json, "bench_obs_overhead", cfg.str(), "[]");
+  }
+  return 0;
+}

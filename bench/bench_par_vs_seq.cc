@@ -8,6 +8,12 @@
 // star (one superunary merge).
 //
 //   --n=<vertices>  --batch=<k>  --quick  --batch-sweep
+//   --json=<path>   write a "ufo-bench/1" sidecar: config, per-row timings
+//                   (including each child process's per-round times and
+//                   metric snapshot, spliced in verbatim), and the parent's
+//                   own metric snapshot
+//   --trace=<path>  write a chrome://tracing JSON of one widest-pool child
+//                   run (spans need -DUFO_OBSERVABILITY=ON to appear)
 //
 // The speedup column is seq seconds / widest-par seconds — the acceptance
 // target for this backend is >= 1.5x on >= 4 cores at k = 100000 (see
@@ -28,6 +34,9 @@
 
 #include "bench/common.h"
 #include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/par_ufo_tree.h"
 #include "parallel/scheduler.h"
 #include "seq/ufo_tree.h"
@@ -45,23 +54,62 @@ EdgeList make_input(const std::string& name, size_t n) {
 
 constexpr int kSweepRounds = 10;
 
+bool write_string(const std::string& path, const std::string& s) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  size_t written = std::fwrite(s.data(), 1, s.size(), f);
+  return (std::fclose(f) == 0) && written == s.size();
+}
+
 // Child mode: one parallel measurement, result on stdout for the parent.
-int child_main(const std::string& input, size_t n, size_t k, bool sweep) {
+// With --json the child also drops a JSON blob (timings + its own metric
+// snapshot — the par-side counters live in this process, not the parent)
+// for the parent to splice into the sidecar's rows.
+int child_main(const std::string& input, size_t n, size_t k, bool sweep,
+               const std::string& json, const std::string& trace) {
+  if (!trace.empty()) obs::TraceSession::start();
+  std::vector<double> rounds;
   double s = sweep ? small_batch_rounds_seconds<par::UfoTree>(
-                         n, make_input(input, n), k, kSweepRounds, 4)
+                         n, make_input(input, n), k, kSweepRounds, 4, &rounds)
                    : batch_build_destroy_seconds<par::UfoTree>(
-                         n, make_input(input, n), k, 4);
+                         n, make_input(input, n), k, 4, &rounds);
+  if (!trace.empty()) obs::TraceSession::write_chrome_trace(trace);
+  if (!json.empty()) {
+    touch_headline_counters();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("threads");
+    w.value(static_cast<int64_t>(par::num_workers()));
+    w.key("input");
+    w.value(input);
+    w.key("k");
+    w.value(static_cast<uint64_t>(k));
+    w.key("seconds");
+    w.value(s);
+    w.key(sweep ? "round_seconds" : "phase_seconds");
+    w.begin_array();
+    for (double r : rounds) w.value(r);
+    w.end_array();
+    w.key("metrics");
+    w.raw(obs::MetricsRegistry::instance().to_json());
+    w.end_object();
+    write_string(json, w.str());
+  }
   std::printf("%.6f\n", s);
   return 0;
 }
 
 // Re-exec self with the pool width pinned; returns seconds or -1.
 double run_child(const char* self, const std::string& input, size_t n,
-                 size_t k, unsigned threads, bool sweep) {
+                 size_t k, unsigned threads, bool sweep,
+                 const std::string& json = "",
+                 const std::string& trace = "") {
   std::string cmd = "UFOTREE_NUM_THREADS=" + std::to_string(threads) + " '" +
                     self + "' --child=" + input + " --n=" + std::to_string(n) +
                     " --batch=" + std::to_string(k) +
                     (sweep ? " --batch-sweep" : "");
+  if (!json.empty()) cmd += " --json=" + json;
+  if (!trace.empty()) cmd += " --trace=" + trace;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (!pipe) return -1;
   double s = -1;
@@ -70,8 +118,118 @@ double run_child(const char* self, const std::string& input, size_t n,
   return s;
 }
 
+// One sweep/build-destroy driver shared by both table modes: measures seq
+// in-process and each par width in a child, printing cells as it goes and
+// appending a row object to `rows` (used only when the caller writes a
+// sidecar). Child JSON blobs are staged in temp files next to the sidecar
+// and spliced in verbatim.
+struct RowRunner {
+  const char* self;
+  size_t n;
+  const std::vector<unsigned>& threads;
+  bool sweep;
+  const Options& opt;
+  obs::JsonWriter& rows;
+  bool trace_pending;
+  int child_idx = 0;
+
+  void run(const std::string& input, size_t k) {
+    rows.begin_object();
+    rows.key("input");
+    rows.value(input);
+    rows.key("k");
+    rows.value(static_cast<uint64_t>(k));
+    std::vector<double> seq_rounds;
+    double seq_s =
+        sweep ? small_batch_rounds_seconds<seq::UfoTree>(
+                    n, make_input(input, n), k, kSweepRounds, 4, &seq_rounds)
+              : batch_build_destroy_seconds<seq::UfoTree>(
+                    n, make_input(input, n), k, 4, &seq_rounds);
+    print_cell(seq_s);
+    std::fflush(stdout);
+    rows.key("seq_seconds");
+    rows.value(seq_s);
+    rows.key(sweep ? "seq_round_seconds" : "seq_phase_seconds");
+    rows.begin_array();
+    for (double r : seq_rounds) rows.value(r);
+    rows.end_array();
+    rows.key("par");
+    rows.begin_array();
+    double widest = -1;
+    for (unsigned t : threads) {
+      std::string cj, ct;
+      if (!opt.json.empty())
+        cj = opt.json + ".child" + std::to_string(child_idx++) + ".tmp";
+      if (trace_pending && t == threads.back()) {
+        ct = opt.trace;
+        trace_pending = false;
+      }
+      widest = run_child(self, input, n, k, t, sweep, cj, ct);
+      print_cell(widest);
+      std::fflush(stdout);
+      std::string blob;
+      if (!cj.empty()) {
+        blob = read_file(cj);
+        std::remove(cj.c_str());
+      }
+      if (!blob.empty()) {
+        rows.raw(blob);
+      } else {
+        rows.begin_object();
+        rows.key("threads");
+        rows.value(static_cast<int64_t>(t));
+        rows.key("seconds");
+        rows.value(widest);
+        rows.end_object();
+      }
+    }
+    rows.end_array();
+    rows.key("speedup");
+    rows.value(widest > 0 ? seq_s / widest : -1.0);
+    rows.end_object();
+    if (widest > 0)
+      std::printf(" %11.2fx", seq_s / widest);
+    else
+      std::printf(" %12s", "n/a");
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+};
+
+void write_sidecar(const Options& opt, size_t n, size_t k, bool sweep,
+                   const std::vector<unsigned>& threads,
+                   obs::JsonWriter& rows) {
+  obs::JsonWriter cfg;
+  cfg.begin_object();
+  cfg.key("n");
+  cfg.value(static_cast<uint64_t>(n));
+  cfg.key("mode");
+  cfg.value(sweep ? "batch-sweep" : "build-destroy");
+  if (sweep) {
+    cfg.key("rounds");
+    cfg.value(int64_t{kSweepRounds});
+  } else {
+    cfg.key("k");
+    cfg.value(static_cast<uint64_t>(k));
+  }
+  cfg.key("threads");
+  cfg.begin_array();
+  for (unsigned t : threads) cfg.value(static_cast<int64_t>(t));
+  cfg.end_array();
+  cfg.key("observability");
+#if defined(UFO_OBSERVABILITY) && UFO_OBSERVABILITY
+  cfg.value(true);
+#else
+  cfg.value(false);
+#endif
+  cfg.end_object();
+  if (!write_bench_json(opt.json, "bench_par_vs_seq", cfg.str(), rows.str()))
+    std::fprintf(stderr, "failed to write sidecar %s\n", opt.json.c_str());
+}
+
 // Small-batch sweep table: rows are input x k, columns seq / par widths.
-int sweep_main(const char* self, size_t n, const std::vector<unsigned>& threads) {
+int sweep_main(const char* self, size_t n,
+               const std::vector<unsigned>& threads, const Options& opt) {
   std::printf(
       "[par-vs-seq] small-batch sweep: %d rounds of (batch_cut k, "
       "batch_link k) on a standing tree, n=%zu (seconds)\n",
@@ -80,28 +238,19 @@ int sweep_main(const char* self, size_t n, const std::vector<unsigned>& threads)
   for (unsigned t : threads) cols.push_back("par-t" + std::to_string(t));
   cols.push_back("speedup");
   print_header("small batches", "input / k", cols);
+  obs::JsonWriter rows;
+  rows.begin_array();
+  RowRunner runner{self,        n,    threads, /*sweep=*/true,
+                   opt,         rows, !opt.trace.empty()};
   for (const std::string& input : {"path", "pref-attach", "star"}) {
     for (size_t k : {size_t{100}, size_t{1000}, size_t{10000}}) {
       std::string row = input + " k=" + std::to_string(k);
       std::printf("%-26s", row.c_str());
-      double seq_s = small_batch_rounds_seconds<seq::UfoTree>(
-          n, make_input(input, n), k, kSweepRounds, 4);
-      print_cell(seq_s);
-      std::fflush(stdout);
-      double widest = -1;
-      for (unsigned t : threads) {
-        widest = run_child(self, input, n, k, t, /*sweep=*/true);
-        print_cell(widest);
-        std::fflush(stdout);
-      }
-      if (widest > 0)
-        std::printf(" %11.2fx", seq_s / widest);
-      else
-        std::printf(" %12s", "n/a");
-      std::printf("\n");
-      std::fflush(stdout);
+      runner.run(input, k);
     }
   }
+  rows.end_array();
+  if (!opt.json.empty()) write_sidecar(opt, n, 0, true, threads, rows);
   return 0;
 }
 
@@ -117,13 +266,14 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--child=", 8) == 0) child_input = argv[i] + 8;
     if (std::strcmp(argv[i], "--batch-sweep") == 0) sweep = true;
   }
-  if (!child_input.empty()) return child_main(child_input, n, k, sweep);
+  if (!child_input.empty())
+    return child_main(child_input, n, k, sweep, opt.json, opt.trace);
 
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   std::vector<unsigned> threads{1, 2, 4};
   if (hw > 4) threads.push_back(hw);
-  if (sweep) return sweep_main(argv[0], n, threads);
+  if (sweep) return sweep_main(argv[0], n, threads, opt);
   std::printf(
       "[par-vs-seq] batch UFO build+destroy, n=%zu, k=%zu (seconds); "
       "host has %u hardware threads\n",
@@ -132,24 +282,15 @@ int main(int argc, char** argv) {
   for (unsigned t : threads) cols.push_back("par-t" + std::to_string(t));
   cols.push_back("speedup");
   print_header("inputs", "input", cols);
+  obs::JsonWriter rows;
+  rows.begin_array();
+  RowRunner runner{argv[0],     n,    threads, /*sweep=*/false,
+                   opt,         rows, !opt.trace.empty()};
   for (const std::string& input : {"path", "pref-attach", "star"}) {
     std::printf("%-26s", input.c_str());
-    double seq_s = batch_build_destroy_seconds<seq::UfoTree>(
-        n, make_input(input, n), k, 4);
-    print_cell(seq_s);
-    std::fflush(stdout);
-    double widest = -1;
-    for (unsigned t : threads) {
-      widest = run_child(argv[0], input, n, k, t, /*sweep=*/false);
-      print_cell(widest);
-      std::fflush(stdout);
-    }
-    if (widest > 0)
-      std::printf(" %11.2fx", seq_s / widest);
-    else
-      std::printf(" %12s", "n/a");
-    std::printf("\n");
-    std::fflush(stdout);
+    runner.run(input, k);
   }
+  rows.end_array();
+  if (!opt.json.empty()) write_sidecar(opt, n, k, false, threads, rows);
   return 0;
 }

@@ -1,10 +1,14 @@
-// Shared benchmark harness: flag parsing, row printing, and the
-// build-then-destroy driver used by the update-speed experiments.
+// Shared benchmark harness: flag parsing, row printing, the
+// build-then-destroy drivers used by the update-speed experiments, and the
+// machine-readable sidecar writer (--json).
 //
 // Every binary accepts:
 //   --n=<vertices>   input size (default per benchmark)
-//   --scale=<f>      multiply the default n by f
+//   --batch=<k>      batch size (default per benchmark)
 //   --quick          shrink everything for a smoke run
+//   --json=<path>    also write a JSON sidecar (schema "ufo-bench/1")
+//   --trace=<path>   write a chrome://tracing file of one measured run
+//                    (events only appear in -DUFO_OBSERVABILITY=ON builds)
 // Times are wall-clock seconds on this host; the paper's claims reproduced
 // here are about *relative* shape, not absolute numbers (see DESIGN.md).
 #pragma once
@@ -17,6 +21,8 @@
 #include <vector>
 
 #include "graph/forest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -26,6 +32,8 @@ struct Options {
   size_t n = 0;          // 0 = use benchmark default
   size_t batch = 0;      // 0 = use benchmark default
   bool quick = false;
+  std::string json;      // sidecar path; empty = no sidecar
+  std::string trace;     // chrome://tracing path; empty = no trace
 };
 
 inline Options parse(int argc, char** argv) {
@@ -35,10 +43,72 @@ inline Options parse(int argc, char** argv) {
       opt.n = std::strtoul(argv[i] + 4, nullptr, 10);
     else if (std::strncmp(argv[i], "--batch=", 8) == 0)
       opt.batch = std::strtoul(argv[i] + 8, nullptr, 10);
+    else if (std::strncmp(argv[i], "--json=", 7) == 0)
+      opt.json = argv[i] + 7;
+    else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+      opt.trace = argv[i] + 8;
     else if (std::strcmp(argv[i], "--quick") == 0)
       opt.quick = true;
   }
   return opt;
+}
+
+// Make sure the headline counters exist in every snapshot, even when a run
+// never exercised them (width-1 pools never steal; uncontended tables never
+// retry a CAS). A zero row distinguishes "didn't happen" from "not
+// instrumented". No-ops when observability is compiled out.
+inline void touch_headline_counters() {
+#if defined(UFO_OBSERVABILITY) && UFO_OBSERVABILITY
+  auto& reg = obs::MetricsRegistry::instance();
+  for (const char* name :
+       {"sched.tasks", "sched.steals", "sched.failed_steals",
+        "hash.set.cas_retries", "par.teardown.rounds", "par.teardown.doomed",
+        "par.teardown.survivors"})
+    reg.counter(name).add(0);
+#endif
+}
+
+// Whole file as a string, or empty on any error. Used by sweep parents to
+// splice child-process sidecars into their own.
+inline std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+// Sidecar schema "ufo-bench/1" (documented in BENCH.md):
+//   { "schema": "ufo-bench/1", "bench": <name>,
+//     "config": <object>, "rows": <array>, "metrics": <registry snapshot> }
+// `config_json` and `rows_json` are pre-serialized (the bench assembles
+// them with obs::JsonWriter); `metrics` is this process's registry —
+// empty-but-valid in instrumentation-off builds.
+inline bool write_bench_json(const std::string& path, const char* bench,
+                             const std::string& config_json,
+                             const std::string& rows_json) {
+  touch_headline_counters();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("ufo-bench/1");
+  w.key("bench");
+  w.value(bench);
+  w.key("config");
+  w.raw(config_json);
+  w.key("rows");
+  w.raw(rows_json);
+  w.key("metrics");
+  w.raw(obs::MetricsRegistry::instance().to_json());
+  w.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string& s = w.str();
+  size_t written = std::fwrite(s.data(), 1, s.size(), f);
+  return (std::fclose(f) == 0) && written == s.size();
 }
 
 inline void print_header(const char* title, const char* col0,
@@ -77,7 +147,9 @@ double build_destroy_seconds(size_t n, const EdgeList& edges, uint64_t seed) {
 // affected sets must win.
 template <class Tree>
 double small_batch_rounds_seconds(size_t n, const EdgeList& edges, size_t k,
-                                  int rounds, uint64_t seed) {
+                                  int rounds, uint64_t seed,
+                                  std::vector<double>* round_seconds =
+                                      nullptr) {
   Tree t(n);
   t.batch_link(edges);
   if (k > edges.size()) k = edges.size();
@@ -91,31 +163,50 @@ double small_batch_rounds_seconds(size_t n, const EdgeList& edges, size_t k,
       std::swap(pool[i], pool[j]);
     }
     std::vector<Edge> batch(pool.begin(), pool.begin() + k);
-    t.batch_cut(batch);
-    t.batch_link(batch);
+    double s = 0;
+    {
+      util::ScopedTimer st(s);
+      t.batch_cut(batch);
+      t.batch_link(batch);
+    }
+    if (round_seconds) round_seconds->push_back(s);
   }
   return timer.elapsed();
 }
 
-// Batched variant (Fig. 8): edges are split into batches of size k.
+// Batched variant (Fig. 8): edges are split into batches of size k. With
+// `phase_seconds`, the build and destroy halves land as two entries.
 template <class Tree>
 double batch_build_destroy_seconds(size_t n, const EdgeList& edges, size_t k,
-                                   uint64_t seed) {
+                                   uint64_t seed,
+                                   std::vector<double>* phase_seconds =
+                                       nullptr) {
   EdgeList ins = edges;
   EdgeList del = edges;
   util::shuffle(ins, seed);
   util::shuffle(del, seed + 1);
   Tree t(n);
+  double build_s = 0, destroy_s = 0;
   util::Timer timer;
-  for (size_t i = 0; i < ins.size(); i += k) {
-    std::vector<Edge> batch(ins.begin() + i,
-                            ins.begin() + std::min(ins.size(), i + k));
-    t.batch_link(batch);
+  {
+    util::ScopedTimer st(build_s);
+    for (size_t i = 0; i < ins.size(); i += k) {
+      std::vector<Edge> batch(ins.begin() + i,
+                              ins.begin() + std::min(ins.size(), i + k));
+      t.batch_link(batch);
+    }
   }
-  for (size_t i = 0; i < del.size(); i += k) {
-    std::vector<Edge> batch(del.begin() + i,
-                            del.begin() + std::min(del.size(), i + k));
-    t.batch_cut(batch);
+  {
+    util::ScopedTimer st(destroy_s);
+    for (size_t i = 0; i < del.size(); i += k) {
+      std::vector<Edge> batch(del.begin() + i,
+                              del.begin() + std::min(del.size(), i + k));
+      t.batch_cut(batch);
+    }
+  }
+  if (phase_seconds) {
+    phase_seconds->push_back(build_s);
+    phase_seconds->push_back(destroy_s);
   }
   return timer.elapsed();
 }

@@ -48,6 +48,7 @@
 #include "connectivity/edge_store.h"
 #include "core/capabilities.h"
 #include "graph/forest.h"
+#include "obs/metrics.h"
 #include "parallel/primitives.h"
 #include "parallel/scheduler.h"
 #include "seq/ufo_tree.h"
@@ -408,6 +409,7 @@ class GraphConnectivity {
     for (size_t i = 0; i < order->size();) {
       Vertex x = (*order)[i];
       Vertex found_y = kNoVertex;
+      UFO_STAT("conn.replacement_scanned", 1);
       nontree_.for_each_neighbor(x, [&](Vertex y) {
         if (found_y == kNoVertex && !side->count(y)) found_y = y;
       });
@@ -416,6 +418,7 @@ class GraphConnectivity {
         continue;
       }
       nontree_.erase(x, found_y);
+      UFO_STAT("conn.promotions", 1);
       link_tree(x, found_y, weight_of(x, found_y));
       if (tu != kNoVertex && forest_.connected(tu, tv)) return true;
       // Absorb the attached piece; do not advance i — x may cross again.
@@ -437,6 +440,7 @@ class GraphConnectivity {
   // pieces, so a certified near side does not imply the far side is clean.
   void reconnect(Vertex u, Vertex v, bool multi_piece) {
     if (forest_.connected(u, v)) return;  // an earlier replacement rejoined
+    UFO_STAT("conn.replacement_searches", 1);
     std::unordered_set<Vertex> side;
     std::vector<Vertex> order;
     int s = smaller_side(u, v, &side, &order);

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "parallel/primitives.h"
 
 namespace ufo::core {
@@ -264,6 +265,8 @@ void UfoCore::rake_index_build_bulk(uint32_t p) {
   rakes.reserve(pc.children.size());
   for (uint32_t c : pc.children)
     if (c != pc.center_child) rakes.push_back(c);
+  UFO_STAT("core.rake_bulk_builds", 1);
+  UFO_STAT("core.rake_bulk_rakes", rakes.size());
   rake_index_clear(p);
   rake_index_merge_runs(p, rakes);
 }
@@ -281,6 +284,7 @@ void UfoCore::rake_index_bulk_add(uint32_t p,
     rake_index_build_bulk(p);
     return;
   }
+  UFO_STAT("core.rake_bulk_merges", 1);
   rake_index_merge_runs(p, rakes);
 }
 

@@ -1,0 +1,122 @@
+// Minimal JSON writer shared by the telemetry exporters and the bench
+// sidecar emitter. No parsing, no DOM — just a forward writer with
+// automatic comma placement and string escaping, so every emitter in the
+// repo produces syntactically valid JSON without hand-managing separators.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ufo::obs {
+
+inline void json_escape(const std::string& s, std::string* out) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          *out += buf;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+}
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    sep();
+    out_ += '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    stack_.pop_back();
+    out_ += '}';
+  }
+  void begin_array() {
+    sep();
+    out_ += '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    stack_.pop_back();
+    out_ += ']';
+  }
+
+  void key(const std::string& k) {
+    sep();
+    out_ += '"';
+    json_escape(k, &out_);
+    out_ += "\":";
+    pending_value_ = true;
+  }
+
+  void value(const std::string& s) {
+    sep();
+    out_ += '"';
+    json_escape(s, &out_);
+    out_ += '"';
+  }
+  void value(const char* s) { value(std::string(s)); }
+  void value(int64_t v) {
+    sep();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+  }
+  void value(uint64_t v) {
+    sep();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out_ += buf;
+  }
+  void value(int v) { value(static_cast<int64_t>(v)); }
+  void value(double v) {
+    sep();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out_ += buf;
+  }
+  void value(bool v) {
+    sep();
+    out_ += v ? "true" : "false";
+  }
+
+  // Splice pre-serialized JSON (e.g. a child process's sidecar) verbatim.
+  void raw(const std::string& json) {
+    sep();
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  // Emit a comma when adding a sibling to a non-empty object/array. A value
+  // immediately following its key never separates.
+  void sep() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per nesting level: has at least one item
+  bool pending_value_ = false;
+};
+
+}  // namespace ufo::obs

@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace ufo::obs {
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> hists;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Intentionally leaked: pool workers may record metrics (idle sleeps,
+  // final steals) while static destructors run at process exit.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>(name);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.hists[name];
+  if (!slot) slot = std::make_unique<Histogram>(name);
+  return *slot;
+}
+
+Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counters.find(name);
+  return it == im.counters.end() ? nullptr : it->second.get();
+}
+
+Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.hists.find(name);
+  return it == im.hists.end() ? nullptr : it->second.get();
+}
+
+size_t MetricsRegistry::num_counters() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.counters.size();
+}
+
+size_t MetricsRegistry::num_histograms() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.hists.size();
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, h] : im.hists) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : im.counters) {
+    w.key(name);
+    w.begin_object();
+    w.key("total");
+    w.value(c->total());
+    std::vector<int64_t> shards = c->per_shard();
+    if (shards.size() > 1) {  // per-worker breakdown only when sharded
+      w.key("shards");
+      w.begin_array();
+      for (int64_t v : shards) w.value(v);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : im.hists) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h->count());
+    w.key("sum");
+    w.value(h->sum());
+    w.key("max");
+    w.value(h->max());
+    w.key("buckets");
+    w.begin_array();
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      int64_t n = h->bucket_count(b);
+      if (n == 0) continue;
+      w.begin_array();
+      w.value(Histogram::bucket_floor(b));
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void MetricsRegistry::print_table(std::FILE* out) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (im.counters.empty() && im.hists.empty()) {
+    std::fprintf(out, "[obs] no metrics registered\n");
+    return;
+  }
+  std::fprintf(out, "%-40s %14s\n", "counter", "total");
+  for (const auto& [name, c] : im.counters)
+    std::fprintf(out, "%-40s %14lld\n", name.c_str(),
+                 static_cast<long long>(c->total()));
+  if (!im.hists.empty()) {
+    std::fprintf(out, "%-40s %10s %14s %12s\n", "histogram", "count", "sum",
+                 "max");
+    for (const auto& [name, h] : im.hists)
+      std::fprintf(out, "%-40s %10lld %14lld %12lld\n", name.c_str(),
+                   static_cast<long long>(h->count()),
+                   static_cast<long long>(h->sum()),
+                   static_cast<long long>(h->max()));
+  }
+}
+
+}  // namespace ufo::obs

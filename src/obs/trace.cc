@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace ufo::obs {
+
+int64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+namespace {
+
+struct alignas(64) TraceShard {
+  std::vector<TraceEvent> events;
+};
+
+TraceShard* shards() {
+  // Immortal for the same reason as the metric registry.
+  static TraceShard* s = new TraceShard[kShards];
+  return s;
+}
+
+}  // namespace
+
+std::atomic<bool>& TraceSession::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void TraceSession::start() {
+  now_ns();  // pin the clock epoch before the first event
+  TraceShard* s = shards();
+  for (size_t i = 0; i < kShards; ++i) s[i].events.clear();
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::stop() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+}
+
+void TraceSession::record(const char* name, int64_t t0_ns, int64_t dur_ns) {
+  size_t w = static_cast<size_t>(par::worker_id());
+  if (w >= kShards) return;  // no single-owner buffer; drop the event
+  shards()[w].events.push_back(
+      {name, t0_ns, dur_ns, static_cast<int>(w)});
+}
+
+std::vector<TraceEvent> TraceSession::events() {
+  std::vector<TraceEvent> all;
+  const TraceShard* s = shards();
+  for (size_t i = 0; i < kShards; ++i)
+    all.insert(all.end(), s[i].events.begin(), s[i].events.end());
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.t0_ns < b.t0_ns;
+            });
+  return all;
+}
+
+size_t TraceSession::event_count() {
+  size_t n = 0;
+  const TraceShard* s = shards();
+  for (size_t i = 0; i < kShards; ++i) n += s[i].events.size();
+  return n;
+}
+
+bool TraceSession::write_chrome_trace(const std::string& path) {
+  stop();
+  std::vector<TraceEvent> all = events();
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ns");
+  w.key("traceEvents");
+  w.begin_array();
+  // Thread-name metadata rows label each worker's track.
+  std::vector<uint8_t> seen(kShards, 0);
+  for (const TraceEvent& e : all) seen[static_cast<size_t>(e.tid)] = 1;
+  for (size_t i = 0; i < kShards; ++i) {
+    if (!seen[i]) continue;
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(int64_t{1});
+    w.key("tid");
+    w.value(static_cast<int64_t>(i));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(i == 0 ? std::string("worker-0 (main)")
+                   : "worker-" + std::to_string(i));
+    w.end_object();
+    w.end_object();
+  }
+  for (const TraceEvent& e : all) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("cat");
+    w.value("ufo");
+    w.key("ph");
+    w.value("X");
+    // chrome://tracing timestamps are microseconds (fractions allowed).
+    w.key("ts");
+    w.value(static_cast<double>(e.t0_ns) / 1000.0);
+    w.key("dur");
+    w.value(static_cast<double>(e.dur_ns) / 1000.0);
+    w.key("pid");
+    w.value(int64_t{1});
+    w.key("tid");
+    w.value(static_cast<int64_t>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string& s = w.str();
+  size_t written = std::fwrite(s.data(), 1, s.size(), f);
+  bool ok = (std::fclose(f) == 0) && written == s.size();
+  return ok;
+}
+
+}  // namespace ufo::obs

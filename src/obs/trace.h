@@ -1,0 +1,112 @@
+// RAII trace spans exporting chrome://tracing (Perfetto-loadable) JSON.
+//
+// A span (`UFO_SPAN("par.teardown")`) measures its scope with the steady
+// clock and always feeds two counters — `span.<name>.ns` and
+// `span.<name>.count` — so per-phase timings appear in every metric
+// snapshot. When a TraceSession is running it additionally appends a
+// complete ("ph":"X") event to a per-worker buffer; write_chrome_trace()
+// merges the buffers into a JSON file that chrome://tracing and
+// https://ui.perfetto.dev open directly (one track per worker).
+//
+// Phase discipline: start(), stop() and write_chrome_trace() must be
+// called from the main thread while no fork-join work is in flight (the
+// per-worker buffers are plain vectors; task completion in the pool is the
+// synchronization point that makes worker appends visible). Workers with
+// id >= kShards do not record events (their spans still feed counters).
+//
+// Like UFO_STAT, UFO_SPAN compiles to nothing without UFO_OBSERVABILITY;
+// the classes are always available.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ufo::obs {
+
+// Nanoseconds on the steady clock since a process-fixed epoch.
+int64_t now_ns();
+
+struct TraceEvent {
+  const char* name;  // span-site string literal
+  int64_t t0_ns;
+  int64_t dur_ns;
+  int tid;  // worker id
+};
+
+class TraceSession {
+ public:
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  // Clear all buffers and begin recording.
+  static void start();
+  // Stop recording (buffers are kept for events()/write_chrome_trace()).
+  static void stop();
+  // All recorded events, merged and sorted by start time.
+  static std::vector<TraceEvent> events();
+  static size_t event_count();
+  // Write the recorded events as chrome://tracing JSON ({"traceEvents":
+  // [...]}); stops the session first if still running. Returns false if
+  // the file could not be written.
+  static bool write_chrome_trace(const std::string& path);
+
+  // Called by SpanGuard; safe from any pool worker while enabled.
+  static void record(const char* name, int64_t t0_ns, int64_t dur_ns);
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+// One per UFO_SPAN call site: owns the span name and its two counters.
+class SpanSite {
+ public:
+  explicit SpanSite(const char* name)
+      : name_(name),
+        ns_(MetricsRegistry::instance().counter(std::string("span.") + name +
+                                                ".ns")),
+        count_(MetricsRegistry::instance().counter(std::string("span.") +
+                                                   name + ".count")) {}
+
+  const char* name_;
+  Counter& ns_;
+  Counter& count_;
+};
+
+class SpanGuard {
+ public:
+  explicit SpanGuard(SpanSite& site) : site_(site), t0_(now_ns()) {}
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() {
+    int64_t dur = now_ns() - t0_;
+    site_.ns_.add(dur);
+    site_.count_.add(1);
+    if (TraceSession::enabled()) TraceSession::record(site_.name_, t0_, dur);
+  }
+
+ private:
+  SpanSite& site_;
+  int64_t t0_;
+};
+
+}  // namespace ufo::obs
+
+#if defined(UFO_OBSERVABILITY) && UFO_OBSERVABILITY
+
+#define UFO_SPAN_CAT2(a, b) a##b
+#define UFO_SPAN_CAT(a, b) UFO_SPAN_CAT2(a, b)
+#define UFO_SPAN(name)                                                     \
+  static ::ufo::obs::SpanSite UFO_SPAN_CAT(ufo_span_site_, __LINE__){name}; \
+  ::ufo::obs::SpanGuard UFO_SPAN_CAT(ufo_span_guard_, __LINE__) {           \
+    UFO_SPAN_CAT(ufo_span_site_, __LINE__)                                  \
+  }
+
+#else
+
+#define UFO_SPAN(name) ((void)0)
+
+#endif  // UFO_OBSERVABILITY

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/random.h"
 
 namespace ufo::par {
@@ -38,15 +39,20 @@ class ConcurrentSet {
     // tombstone would duplicate it (a later erase would remove only one
     // copy and contains() would still find the other).
     size_t tomb = SIZE_MAX;
+    UFO_OBS_ONLY(int64_t probes = 1;)
     for (;;) {
       uint64_t cur = slots_[i].load(std::memory_order_relaxed);
-      if (cur == key) return false;
+      if (cur == key) {
+        UFO_STAT_HIST("hash.set.probe_len", probes);
+        return false;
+      }
       if (cur == kTombstone && tomb == SIZE_MAX) tomb = i;
       if (cur == kEmpty) {
         size_t target = tomb != SIZE_MAX ? tomb : i;
         uint64_t expected = slots_[target].load(std::memory_order_relaxed);
         if (expected != kEmpty && expected != kTombstone) {
           // Lost the remembered slot to a concurrent insert; rescan.
+          UFO_STAT("hash.set.cas_retries", 1);
           tomb = SIZE_MAX;
           i = util::hash64(key) & mask;
           continue;
@@ -56,11 +62,15 @@ class ConcurrentSet {
           if (expected == kTombstone)
             tombs_.fetch_sub(1, std::memory_order_relaxed);
           size_.fetch_add(1, std::memory_order_relaxed);
+          UFO_STAT("hash.set.inserts", 1);
+          UFO_STAT_HIST("hash.set.probe_len", probes);
           return true;
         }
+        UFO_STAT("hash.set.cas_retries", 1);
         if (expected == key) return false;
         continue;  // raced on the slot; retry
       }
+      UFO_OBS_ONLY(++probes;)
       i = (i + 1) & mask;
     }
   }
@@ -78,8 +88,10 @@ class ConcurrentSet {
                                               std::memory_order_acq_rel)) {
           tombs_.fetch_add(1, std::memory_order_relaxed);
           size_.fetch_sub(1, std::memory_order_relaxed);
+          UFO_STAT("hash.set.erases", 1);
           return true;
         }
+        UFO_STAT("hash.set.cas_retries", 1);
         continue;
       }
       i = (i + 1) & mask;
@@ -138,6 +150,7 @@ class ConcurrentSet {
     if (want <= slots_.size() &&
         size() + tombstones() + n <= slots_.size() / 2)
       return;  // roomy enough, even counting tombstoned slots
+    UFO_STAT("hash.set.resizes", 1);
     std::vector<uint64_t> live = elements();
     std::vector<std::atomic<uint64_t>> fresh(want);
     slots_.swap(fresh);
@@ -224,10 +237,16 @@ class ClaimTable {
     uint64_t want = (epoch_ << 32) | owner;
     uint64_t cur = slots_[id].load(std::memory_order_relaxed);
     for (;;) {
-      if ((cur >> 32) == epoch_) return false;  // already claimed this phase
+      if ((cur >> 32) == epoch_) {
+        UFO_STAT("claim.lost", 1);
+        return false;  // already claimed this phase
+      }
       if (slots_[id].compare_exchange_weak(cur, want,
-                                           std::memory_order_acq_rel))
+                                           std::memory_order_acq_rel)) {
+        UFO_STAT("claim.won", 1);
         return true;
+      }
+      UFO_STAT("claim.cas_retries", 1);
     }
   }
 

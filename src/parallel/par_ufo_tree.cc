@@ -10,6 +10,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/primitives.h"
 #include "parallel/scheduler.h"
 #include "util/random.h"
@@ -151,7 +153,10 @@ void UfoTree::edge_level_ops(const std::vector<Update>& ops, bool insert) {
 // survivor stays attached only when its degree is >= 3 — which is also what
 // keeps the surviving chains usable for insert propagation.
 void UfoTree::teardown_pass(std::vector<Token> toks) {
+  UFO_SPAN("par.teardown");
+  UFO_STAT("par.teardown.walks", toks.size());
   while (!toks.empty()) {
+    UFO_STAT("par.teardown.rounds", 1);
     ensure_scratch();
     // Walks whose child is parentless are done: a surviving chain top joins
     // the frontier (deleted tops already re-rooted their children).
@@ -169,6 +174,8 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
     });
     auto groups = group_by_key(byp);
     size_t ngroups = groups.size();
+    UFO_STAT_HIST("par.teardown.level_width", rest.size());
+    UFO_STAT("par.teardown.visited", ngroups);
     std::vector<Token> next(ngroups);
     std::vector<std::vector<uint32_t>> rooted(ngroups);
     std::vector<uint8_t> died(ngroups, 0);
@@ -273,6 +280,8 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
     }
     doomed_list_.insert(doomed_list_.end(), newly_doomed.begin(),
                         newly_doomed.end());
+    UFO_STAT("par.teardown.doomed", newly_doomed.size());
+    UFO_STAT("par.teardown.survivors", ngroups - newly_doomed.size());
 
     // Remove this round's doomed clusters from their surviving neighbors'
     // adjacency (grouped by survivor so each list has one owner).
@@ -375,6 +384,9 @@ void UfoTree::drain_revalidate() {
 
 void UfoTree::batch_update(const std::vector<Update>& batch) {
   if (batch.empty()) return;
+  UFO_SPAN("par.batch_update");
+  UFO_STAT("par.batch.count", 1);
+  UFO_STAT("par.batch.updates", batch.size());
   ensure_scratch();
   std::vector<Update> dels =
       filter(batch, [](const Update& u) { return u.is_delete; });
@@ -382,35 +394,50 @@ void UfoTree::batch_update(const std::vector<Update>& batch) {
       filter(batch, [](const Update& u) { return !u.is_delete; });
   // 1. Deleted edges leave every level of the intact chains first, so the
   //    teardown's survival guards see post-delete degrees (matches seq).
-  if (!dels.empty()) edge_level_ops(dels, /*insert=*/false);
+  if (!dels.empty()) {
+    UFO_SPAN("par.edge_delete");
+    edge_level_ops(dels, /*insert=*/false);
+  }
   // 2. Path-granular teardown from the endpoint leaves.
-  std::vector<uint32_t> leaves(2 * batch.size());
-  parallel_for(0, batch.size(), [&](size_t i) {
-    assert(batch[i].u != batch[i].v && "self-loop in batch");
-    leaves[2 * i] = leaf_id(batch[i].u);
-    leaves[2 * i + 1] = leaf_id(batch[i].v);
-  });
-  remove_duplicates(leaves);
-  std::vector<Token> toks(leaves.size());
-  parallel_for(0, leaves.size(),
-               [&](size_t i) { toks[i] = {leaves[i], false}; });
-  teardown_pass(std::move(toks));
-  drain_revalidate();
+  {
+    std::vector<uint32_t> leaves(2 * batch.size());
+    parallel_for(0, batch.size(), [&](size_t i) {
+      assert(batch[i].u != batch[i].v && "self-loop in batch");
+      leaves[2 * i] = leaf_id(batch[i].u);
+      leaves[2 * i + 1] = leaf_id(batch[i].v);
+    });
+    remove_duplicates(leaves);
+    std::vector<Token> toks(leaves.size());
+    parallel_for(0, leaves.size(),
+                 [&](size_t i) { toks[i] = {leaves[i], false}; });
+    teardown_pass(std::move(toks));
+    drain_revalidate();
+  }
   // 3. Inserted edges join every level of the surviving chains.
-  if (!inss.empty()) edge_level_ops(inss, /*insert=*/true);
+  if (!inss.empty()) {
+    UFO_SPAN("par.edge_insert");
+    edge_level_ops(inss, /*insert=*/true);
+  }
   // 4. Recluster the detached frontier level-synchronously.
-  contract_frontier();
+  {
+    UFO_SPAN("par.recluster");
+    contract_frontier();
+  }
   // 5. Refresh every surviving ancestor's aggregates bottom-up.
   flush_dirty();
   // 6. Recycle the doomed clusters (concurrent reset, serial free-list
   //    append at the phase boundary).
-  parallel_for(0, doomed_list_.size(), [&](size_t i) {
-    uint32_t d = doomed_list_[i];
-    reset_cluster(d);
-    doomed_[d] = 0;
-  });
-  free_.insert(free_.end(), doomed_list_.begin(), doomed_list_.end());
-  doomed_list_.clear();
+  {
+    UFO_SPAN("par.recycle");
+    UFO_STAT("par.recycled", doomed_list_.size());
+    parallel_for(0, doomed_list_.size(), [&](size_t i) {
+      uint32_t d = doomed_list_[i];
+      reset_cluster(d);
+      doomed_[d] = 0;
+    });
+    free_.insert(free_.end(), doomed_list_.begin(), doomed_list_.end());
+    doomed_list_.clear();
+  }
 }
 
 void UfoTree::contract_frontier() {
@@ -430,6 +457,7 @@ void UfoTree::contract_frontier() {
 }
 
 void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
+  UFO_STAT("par.recluster.rounds", 1);
   ensure_scratch();
   remove_duplicates(raw);
   std::vector<uint32_t> active = filter(raw, [&](uint32_t c) {
@@ -568,6 +596,7 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
   std::vector<uint32_t> matchable =
       filter(active, [&](uint32_t c) { return role_of(c) == kFree; });
   while (!matchable.empty()) {
+    UFO_STAT("par.recluster.match_rounds", 1);
     uint64_t salt = util::hash64(round_salt_++);
     auto rank = [&](uint32_t d) { return util::hash64(salt ^ d); };
     parallel_for(0, matchable.size(), [&](size_t i) {
@@ -604,6 +633,10 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
       filter(active, [&](uint32_t c) { return role_of(c) == kCenter; });
   std::vector<uint32_t> singles =
       filter(active, [&](uint32_t c) { return role_of(c) == kFree; });
+  UFO_STAT("par.recluster.centers", centers.size());
+  UFO_STAT("par.recluster.pairs", pairs.size());
+  UFO_STAT("par.recluster.singletons", singles.size());
+  UFO_STAT("par.recluster.rake_attached", engaged.size());
 
   // Phase 3a: rake-attach into surviving superunary parents, grouped so one
   // task owns each target parent and extends its rake index with a single
@@ -736,6 +769,7 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
 // from the fresh aggregates), then propagate to the parents' level.
 void UfoTree::flush_dirty() {
   if (dirty_.empty()) return;
+  UFO_SPAN("par.flush");
   std::vector<uint32_t> all = std::move(dirty_);
   dirty_.clear();
   remove_duplicates(all);
@@ -754,6 +788,7 @@ void UfoTree::flush_dirty() {
              clusters_[c].level == static_cast<int32_t>(l);
     });
     if (items.empty()) continue;
+    UFO_STAT("par.flush.clusters", items.size());
     parallel_for(0, items.size(),
                  [&](size_t i) { recompute_aggregates(items[i]); });
     std::vector<std::pair<uint32_t, uint32_t>> stale;  // (parent, rake)

@@ -8,9 +8,15 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ufo::par {
 
 namespace {
+
+// Worker id of the calling thread: pool workers set theirs at spawn;
+// external threads (including main) default to 0 and share deque 0.
+thread_local int t_worker_id = 0;
 
 // A work-stealing pool: every worker owns a deque and works LIFO off its
 // back (hot caches, depth-first fork order), while thieves take FIFO off
@@ -61,6 +67,7 @@ class Pool {
   int workers() const { return workers_; }
 
   void submit(std::function<void()> task) {
+    UFO_STAT("sched.submits", 1);
     deques_[slot()].push(std::move(task));
     // seq_cst pairs with the sleeper protocol in worker_loop: if this
     // increment is not visible to a worker's re-check under sleep_mu_,
@@ -88,9 +95,14 @@ class Pool {
         if (v == self) continue;
         found = deques_[v].steal(&task);
       }
-      if (!found) return false;
+      if (!found) {
+        UFO_STAT("sched.failed_steals", 1);
+        return false;
+      }
+      UFO_STAT("sched.steals", 1);
     }
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    UFO_STAT("sched.tasks", 1);
     task();
     return true;
   }
@@ -109,7 +121,7 @@ class Pool {
     deques_ = std::vector<WorkDeque>(static_cast<size_t>(workers_));
     for (int i = 1; i < workers_; ++i) {
       threads_.emplace_back([this, i] {
-        tls_slot() = static_cast<size_t>(i);
+        t_worker_id = i;
         worker_loop();
       });
     }
@@ -124,12 +136,9 @@ class Pool {
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
 
-  static size_t& tls_slot() {
-    thread_local size_t slot = 0;  // external threads share deque 0
-    return slot;
+  size_t slot() const {
+    return static_cast<size_t>(t_worker_id) % deques_.size();
   }
-
-  size_t slot() const { return tls_slot() % deques_.size(); }
 
   static size_t& victim_seed() {
     thread_local size_t seed =
@@ -147,6 +156,7 @@ class Pool {
         if (!ran) std::this_thread::yield();
       }
       if (ran) continue;
+      UFO_STAT("sched.idle_sleeps", 1);
       // Precise sleep: register as a sleeper, then re-check for work under
       // the lock before blocking indefinitely. A submit that misses our
       // sleepers_ increment (seq_cst) must have published its pending_
@@ -175,7 +185,14 @@ class Pool {
 
 }  // namespace
 
-int num_workers() { return Pool::instance().workers(); }
+int num_workers() {
+  // Width is fixed at pool construction; cache it so the per-call cost is
+  // one initialized-static check instead of a singleton access.
+  static const int cached = Pool::instance().workers();
+  return cached;
+}
+
+int worker_id() { return t_worker_id; }
 
 namespace internal {
 

@@ -17,8 +17,18 @@
 
 namespace ufo::par {
 
-// Number of worker threads (including the caller).
+// Number of worker threads (including the caller). Cached after the pool's
+// first use, so hot call sites (parallel_for's grain heuristic runs on
+// every invocation) pay one static-guard check instead of re-deriving the
+// pool width through the singleton.
 int num_workers();
+
+// Id of the calling thread within the pool, in [0, num_workers()): pool
+// workers get 1..num_workers()-1, and the main thread (or any other
+// external submitter) is 0. Fixed for a thread's lifetime — benches and
+// the telemetry layer use it to label per-worker output and to index
+// sharded counters.
+int worker_id();
 
 namespace internal {
 

@@ -10,6 +10,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ufo::seq {
 
 namespace {
@@ -74,6 +77,7 @@ void UfoTree::delete_ancestors(uint32_t c) {
       }
       UFO_TRACE("  delete cluster %u (lvl %d) parent %u\n", cur,
                 clusters_[cur].level, next);
+      UFO_STAT("seq.teardown.deleted", 1);
       free_cluster(cur);
     } else if (!prev_deleted && clusters_[prev].nbrs.size() <= 2 &&
                clusters_[prev].parent == cur) {
@@ -87,6 +91,7 @@ void UfoTree::delete_ancestors(uint32_t c) {
       clusters_[prev].parent = 0;
       add_root(prev);
       mark_dirty(cur);
+      UFO_STAT("seq.teardown.shed", 1);
       UFO_TRACE("  disconnect %u (lvl %d) from survivor %u\n", prev,
                 clusters_[prev].level, cur);
     }
@@ -114,6 +119,7 @@ void UfoTree::delete_ancestors_all(uint32_t c) {
       mark_dirty(next);
     }
     UFO_TRACE("  delete-all cluster %u (lvl %d)\n", cur, clusters_[cur].level);
+    UFO_STAT("seq.teardown.deleted", 1);
     free_cluster(cur);
     cur = next;
   }
@@ -178,7 +184,9 @@ void UfoTree::repair(uint32_t c) {
 // chains are centered on their vertex, so entries attach at the boundary.
 void UfoTree::edge_walk(Vertex u, Vertex v, Weight w, bool insert) {
   uint32_t a = leaf_id(u), b = leaf_id(v);
+  UFO_OBS_ONLY(int64_t levels = 0;)
   while (a != 0 && b != 0 && a != b) {
+    UFO_OBS_ONLY(++levels;)
     if (insert) {
       assert(!adj_contains(a, b));
       clusters_[a].nbrs.push_back({b, u, v, w});
@@ -198,6 +206,7 @@ void UfoTree::edge_walk(Vertex u, Vertex v, Weight w, bool insert) {
     a = clusters_[a].parent;
     b = clusters_[b].parent;
   }
+  UFO_STAT_HIST("seq.edge_walk.levels", levels);
 }
 
 void UfoTree::link(Vertex u, Vertex v, Weight w) {
@@ -258,6 +267,9 @@ void UfoTree::cut(Vertex u, Vertex v) {
 }
 
 void UfoTree::batch_update(const std::vector<Update>& batch) {
+  UFO_SPAN("seq.batch_update");
+  UFO_STAT("seq.batch.count", 1);
+  UFO_STAT("seq.batch.updates", batch.size());
   // Phase 1: remove all deleted edges at every level (chains still intact).
   batch_deleting_ = true;
   for (const Update& up : batch)
@@ -310,6 +322,7 @@ void UfoTree::batch_cut(const std::vector<Edge>& edges) {
 // high-degree root cluster a parent and rakes in all of its degree-1
 // neighbors; phase B pairs the remaining degree <= 2 root clusters.
 void UfoTree::recluster() {
+  UFO_SPAN("seq.recluster");
   for (size_t lvl = 0; lvl < roots_.size(); ++lvl) {
    // Deletions above can re-root clusters at the level being processed;
    // drain until the level is quiescent, and only then rebuild adjacency
@@ -477,6 +490,7 @@ void UfoTree::recluster() {
     for (uint32_t q : agg_only) changed.push_back(q);
     std::sort(changed.begin(), changed.end());
     changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    UFO_STAT("seq.recluster.changed", changed.size());
     for (uint32_t p : changed) {
       if (alive(p)) {
         UFO_TRACE("  recompute changed %u (lvl %d, fanout %zu)\n", p,

@@ -1,7 +1,8 @@
-// Wall-clock timing helper for the benchmark harness.
+// Wall-clock timing helpers for the benchmark harness and telemetry layer.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace ufo::util {
 
@@ -16,9 +17,38 @@ class Timer {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 
+  // Nanoseconds elapsed since construction or the last reset().
+  int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+// Writes the scope's elapsed seconds into `out` on destruction, so bench
+// loops stop hand-rolling duration<double> conversions:
+//
+//   double s = 0;
+//   { ScopedTimer t(s); workload(); }
+//   record(s);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& out) : out_(out) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { out_ = timer_.elapsed(); }
+
+  // Seconds so far without ending the scope.
+  double elapsed() const { return timer_.elapsed(); }
+  int64_t elapsed_ns() const { return timer_.elapsed_ns(); }
+
+ private:
+  Timer timer_;
+  double& out_;
 };
 
 }  // namespace ufo::util
