@@ -10,8 +10,11 @@
 //   --n=<vertices>  --batch=<k>  --quick  --batch-sweep
 //   --json=<path>   write a "ufo-bench/1" sidecar: config, per-row timings
 //                   (including each child process's per-round times and
-//                   metric snapshot, spliced in verbatim), and the parent's
-//                   own metric snapshot
+//                   metric snapshot, spliced in verbatim), exact storage
+//                   accounting for the standing tree ("seq_memory" per row,
+//                   "memory" per par child: memory_bytes, live clusters,
+//                   bytes-per-cluster, per-pool breakdown), and the
+//                   parent's own metric snapshot
 //   --trace=<path>  write a chrome://tracing JSON of one widest-pool child
 //                   run (spans need -DUFO_OBSERVABILITY=ON to appear)
 //
@@ -69,10 +72,13 @@ int child_main(const std::string& input, size_t n, size_t k, bool sweep,
                const std::string& json, const std::string& trace) {
   if (!trace.empty()) obs::TraceSession::start();
   std::vector<double> rounds;
+  MemReport mem;
+  MemReport* mp = json.empty() ? nullptr : &mem;
   double s = sweep ? small_batch_rounds_seconds<par::UfoTree>(
-                         n, make_input(input, n), k, kSweepRounds, 4, &rounds)
+                         n, make_input(input, n), k, kSweepRounds, 4, &rounds,
+                         mp)
                    : batch_build_destroy_seconds<par::UfoTree>(
-                         n, make_input(input, n), k, 4, &rounds);
+                         n, make_input(input, n), k, 4, &rounds, mp);
   if (!trace.empty()) obs::TraceSession::write_chrome_trace(trace);
   if (!json.empty()) {
     touch_headline_counters();
@@ -90,6 +96,7 @@ int child_main(const std::string& input, size_t n, size_t k, bool sweep,
     w.begin_array();
     for (double r : rounds) w.value(r);
     w.end_array();
+    mem.append_json(w, "memory");
     w.key("metrics");
     w.raw(obs::MetricsRegistry::instance().to_json());
     w.end_object();
@@ -140,11 +147,14 @@ struct RowRunner {
     rows.key("k");
     rows.value(static_cast<uint64_t>(k));
     std::vector<double> seq_rounds;
+    MemReport seq_mem;
+    MemReport* mp = opt.json.empty() ? nullptr : &seq_mem;
     double seq_s =
         sweep ? small_batch_rounds_seconds<seq::UfoTree>(
-                    n, make_input(input, n), k, kSweepRounds, 4, &seq_rounds)
+                    n, make_input(input, n), k, kSweepRounds, 4, &seq_rounds,
+                    mp)
               : batch_build_destroy_seconds<seq::UfoTree>(
-                    n, make_input(input, n), k, 4, &seq_rounds);
+                    n, make_input(input, n), k, 4, &seq_rounds, mp);
     print_cell(seq_s);
     std::fflush(stdout);
     rows.key("seq_seconds");
@@ -153,6 +163,7 @@ struct RowRunner {
     rows.begin_array();
     for (double r : seq_rounds) rows.value(r);
     rows.end_array();
+    seq_mem.append_json(rows, "seq_memory");
     rows.key("par");
     rows.begin_array();
     double widest = -1;

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -125,6 +126,78 @@ inline void print_cell(double seconds) {
     std::printf(" %12.4f", seconds);
 }
 
+// True when Tree exposes the exact storage accounting call
+// (core::UfoCore::memory_breakdown); baselines without it silently skip the
+// memory capture below.
+template <class Tree, class = void>
+inline constexpr bool kHasMemoryBreakdown = false;
+template <class Tree>
+inline constexpr bool kHasMemoryBreakdown<
+    Tree, std::void_t<decltype(std::declval<const Tree&>().memory_breakdown())>>
+    = true;
+
+// Exact storage accounting captured from a standing tree, exported into the
+// "ufo-bench/1" sidecar ("memory" on par child blobs, "seq_memory" on rows)
+// and summarized as bytes-per-cluster in BENCH.md.
+struct MemReport {
+  bool valid = false;
+  size_t memory_bytes = 0;
+  size_t clusters = 0;  // live cluster records, not bytes
+  size_t hot = 0, cold = 0, adjacency = 0, children = 0, adj_index = 0,
+         rake = 0, other = 0;
+
+  double bytes_per_cluster() const {
+    return clusters ? static_cast<double>(memory_bytes) / clusters : 0.0;
+  }
+
+  template <class Tree>
+  void capture(const Tree& t) {
+    if constexpr (kHasMemoryBreakdown<Tree>) {
+      auto br = t.memory_breakdown();
+      valid = true;
+      memory_bytes = br.total();
+      clusters = br.clusters;
+      hot = br.hot;
+      cold = br.cold;
+      adjacency = br.adjacency;
+      children = br.children;
+      adj_index = br.adj_index;
+      rake = br.rake;
+      other = br.other;
+    }
+  }
+
+  void append_json(obs::JsonWriter& w, const char* key) const {
+    if (!valid) return;
+    w.key(key);
+    w.begin_object();
+    w.key("memory_bytes");
+    w.value(static_cast<uint64_t>(memory_bytes));
+    w.key("clusters");
+    w.value(static_cast<uint64_t>(clusters));
+    w.key("bytes_per_cluster");
+    w.value(bytes_per_cluster());
+    w.key("pools");
+    w.begin_object();
+    w.key("hot");
+    w.value(static_cast<uint64_t>(hot));
+    w.key("cold");
+    w.value(static_cast<uint64_t>(cold));
+    w.key("adjacency");
+    w.value(static_cast<uint64_t>(adjacency));
+    w.key("children");
+    w.value(static_cast<uint64_t>(children));
+    w.key("adj_index");
+    w.value(static_cast<uint64_t>(adj_index));
+    w.key("rake");
+    w.value(static_cast<uint64_t>(rake));
+    w.key("other");
+    w.value(static_cast<uint64_t>(other));
+    w.end_object();
+    w.end_object();
+  }
+};
+
 // Total time to insert all edges (random order) then delete all edges
 // (another random order) — the paper's update-speed metric (Fig. 5).
 template <class Tree>
@@ -148,8 +221,8 @@ double build_destroy_seconds(size_t n, const EdgeList& edges, uint64_t seed) {
 template <class Tree>
 double small_batch_rounds_seconds(size_t n, const EdgeList& edges, size_t k,
                                   int rounds, uint64_t seed,
-                                  std::vector<double>* round_seconds =
-                                      nullptr) {
+                                  std::vector<double>* round_seconds = nullptr,
+                                  MemReport* mem = nullptr) {
   Tree t(n);
   t.batch_link(edges);
   if (k > edges.size()) k = edges.size();
@@ -171,7 +244,9 @@ double small_batch_rounds_seconds(size_t n, const EdgeList& edges, size_t k,
     }
     if (round_seconds) round_seconds->push_back(s);
   }
-  return timer.elapsed();
+  double total = timer.elapsed();
+  if (mem) mem->capture(t);  // standing structure, after the churn
+  return total;
 }
 
 // Batched variant (Fig. 8): edges are split into batches of size k. With
@@ -179,8 +254,8 @@ double small_batch_rounds_seconds(size_t n, const EdgeList& edges, size_t k,
 template <class Tree>
 double batch_build_destroy_seconds(size_t n, const EdgeList& edges, size_t k,
                                    uint64_t seed,
-                                   std::vector<double>* phase_seconds =
-                                       nullptr) {
+                                   std::vector<double>* phase_seconds = nullptr,
+                                   MemReport* mem = nullptr) {
   EdgeList ins = edges;
   EdgeList del = edges;
   util::shuffle(ins, seed);
@@ -196,6 +271,7 @@ double batch_build_destroy_seconds(size_t n, const EdgeList& edges, size_t k,
       t.batch_link(batch);
     }
   }
+  if (mem) mem->capture(t);  // peak: fully built, pre-teardown
   {
     util::ScopedTimer st(destroy_s);
     for (size_t i = 0; i < del.size(); i += k) {

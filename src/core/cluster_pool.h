@@ -1,0 +1,301 @@
+// Pooled slab storage backing the SoA cluster pools (DESIGN.md, "Memory
+// layout"). Two allocators live here:
+//
+//   * SlabPool<T>: variable-size slabs (power-of-two capacities) carved out
+//     of geometrically growing segments, with per-(size-class, level)
+//     freelists. Cluster adjacency lists, children lists, and adjacency
+//     hash indexes live in these. Handles are 32-bit element indexes;
+//     ptr(h) is two shifts and an add. Segments are never moved or freed
+//     until pool destruction, so raw pointers/spans into a slab stay valid
+//     across any other allocation — the property the backends rely on when
+//     they hold a Span over one cluster's list while growing another's.
+//   * ObjectPool<T>: fixed-size object pool with the same segment geometry,
+//     used for the (rare) per-superunary-cluster rake indexes. Freed
+//     objects keep their heap capacity and are recycled, which is the
+//     point: a churning hub reuses one warmed-up index instead of
+//     reallocating three containers per batch.
+//
+// Thread-safety: alloc/free on both pools are safe to call concurrently
+// (spinlocked freelists + bump cursor); element storage itself is unlocked
+// and follows the owner-task discipline of the parallel backend. The
+// segment pointer table is std::atomic so ptr() on a handle published
+// across a join barrier is race-free under TSan.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ufo::core {
+
+// Null slab handle. Distinct from cluster id 0 (the null cluster).
+constexpr uint32_t kNullSlab = 0xffffffffu;
+
+class Spinlock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& l) : l_(l) { l_.lock(); }
+  ~SpinGuard() { l_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& l_;
+};
+
+// Non-owning view over one slab's live prefix.
+template <class T>
+struct Span {
+  T* data = nullptr;
+  uint32_t n = 0;
+
+  T* begin() const { return data; }
+  T* end() const { return data + n; }
+  uint32_t size() const { return n; }
+  bool empty() const { return n == 0; }
+  T& operator[](size_t i) const { return data[i]; }
+  T& front() const { return data[0]; }
+  T& back() const { return data[n - 1]; }
+};
+
+// Power-of-two capacity >= max(v, lo). v, lo <= 2^31.
+inline uint32_t pow2_at_least(uint32_t v, uint32_t lo) {
+  uint32_t x = v < lo ? lo : v;
+  return std::bit_ceil(x);
+}
+
+template <class T, unsigned Seg0Log = 10>
+class SlabPool {
+ public:
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+  ~SlabPool() {
+    for (auto& s : segs_) delete[] s.load(std::memory_order_relaxed);
+  }
+
+  // Segment b=0 holds handles [0, 2^Seg0Log); segment b>=1 holds
+  // [2^(Seg0Log+b-1), 2^(Seg0Log+b)). seg_of is two instructions.
+  static unsigned seg_of(uint32_t h) {
+    uint32_t t = h >> Seg0Log;
+    return t == 0 ? 0 : static_cast<unsigned>(std::bit_width(t));
+  }
+  static uint32_t seg_base(unsigned b) {
+    return b == 0 ? 0 : (1u << (Seg0Log + b - 1));
+  }
+  static uint32_t seg_elems(unsigned b) {
+    return b == 0 ? (1u << Seg0Log) : (1u << (Seg0Log + b - 1));
+  }
+
+  T* ptr(uint32_t h) const {
+    unsigned b = seg_of(h);
+    T* base = segs_[b].load(std::memory_order_acquire);
+    assert(base != nullptr);
+    return base + (h - seg_base(b));
+  }
+
+  // cap must be a power of two in [kMinCap, 2^(kClasses-1)]. `level` is a
+  // recycling locality hint: slabs freed by teardown at tree level L are
+  // preferentially handed back to allocations at L (negative = don't care).
+  uint32_t alloc(uint32_t cap, int32_t level) {
+    assert(std::has_single_bit(cap) && cap >= kMinCap);
+    unsigned cls = static_cast<unsigned>(std::countr_zero(cap));
+    assert(cls < kClasses);
+    unsigned lb = bucket_of(level);
+    {
+      SpinGuard g(class_lock_[cls]);
+      auto& exact = free_[cls][lb];
+      if (!exact.empty()) {
+        uint32_t h = exact.back();
+        exact.pop_back();
+        return h;
+      }
+      for (unsigned b = 0; b < kLevelBuckets; ++b) {
+        auto& fl = free_[cls][b];
+        if (!fl.empty()) {
+          uint32_t h = fl.back();
+          fl.pop_back();
+          return h;
+        }
+      }
+    }
+    return bump_alloc(cap);
+  }
+
+  void free_slab(uint32_t h, uint32_t cap, int32_t level) {
+    assert(h != kNullSlab && std::has_single_bit(cap));
+    unsigned cls = static_cast<unsigned>(std::countr_zero(cap));
+    unsigned lb = bucket_of(level);
+    SpinGuard g(class_lock_[cls]);
+    free_[cls][lb].push_back(h);
+  }
+
+  // Allocated segment bytes plus freelist bookkeeping. Call from quiescent
+  // code only (freelist capacities are read unlocked).
+  size_t memory_bytes() const {
+    size_t total = seg_bytes_.load(std::memory_order_relaxed);
+    for (unsigned c = 0; c < kClasses; ++c)
+      for (unsigned b = 0; b < kLevelBuckets; ++b)
+        total += free_[c][b].capacity() * sizeof(uint32_t);
+    return total;
+  }
+
+  static constexpr uint32_t kMinCap = 4;
+
+ private:
+  static constexpr unsigned kClasses = 28;
+  static constexpr unsigned kLevelBuckets = 16;
+  static constexpr unsigned kMaxSegs = 33 - Seg0Log;
+
+  static unsigned bucket_of(int32_t level) {
+    if (level < 0) return 0;
+    return level < static_cast<int32_t>(kLevelBuckets)
+               ? static_cast<unsigned>(level)
+               : kLevelBuckets - 1;
+  }
+
+  uint32_t bump_alloc(uint32_t cap) {
+    SpinGuard g(bump_lock_);
+    while (seg_elems(cur_seg_) - cur_off_ < cap) {
+      carve_remainder();
+      ++cur_seg_;
+      assert(cur_seg_ < kMaxSegs);
+      cur_off_ = 0;
+    }
+    ensure_seg(cur_seg_);
+    uint32_t h = seg_base(cur_seg_) + cur_off_;
+    cur_off_ += cap;
+    return h;
+  }
+
+  // Push the unallocated tail of the current segment into the freelists as
+  // power-of-two slabs so advancing to a bigger segment wastes nothing.
+  // cur_off_ == 0 means the segment array was never materialized — skip it
+  // without allocating. Lock order: bump_lock_ -> class_lock_ (alloc's
+  // class-first path never takes bump_lock_ while holding a class lock).
+  void carve_remainder() {
+    if (cur_off_ == 0) return;
+    uint32_t off = cur_off_;
+    uint32_t rem = seg_elems(cur_seg_) - off;
+    uint32_t base = seg_base(cur_seg_);
+    while (rem >= kMinCap) {
+      uint32_t c = std::bit_floor(rem);
+      unsigned cls = static_cast<unsigned>(std::countr_zero(c));
+      {
+        SpinGuard g(class_lock_[cls]);
+        free_[cls][0].push_back(base + off);
+      }
+      off += c;
+      rem -= c;
+    }
+  }
+
+  void ensure_seg(unsigned b) {
+    if (segs_[b].load(std::memory_order_relaxed) != nullptr) return;
+    T* arr = new T[seg_elems(b)]();
+    segs_[b].store(arr, std::memory_order_release);
+    seg_bytes_.fetch_add(size_t{seg_elems(b)} * sizeof(T),
+                         std::memory_order_relaxed);
+  }
+
+  std::atomic<T*> segs_[kMaxSegs] = {};
+  std::atomic<size_t> seg_bytes_{0};
+  Spinlock bump_lock_;
+  unsigned cur_seg_ = 0;
+  uint32_t cur_off_ = 0;
+  Spinlock class_lock_[kClasses];
+  std::vector<uint32_t> free_[kClasses][kLevelBuckets];
+};
+
+// Fixed-size object pool with the same lazily-allocated doubling segments.
+// Freed objects are recycled with their internal capacity intact;
+// for_each_allocated visits every slot ever handed out (including freed
+// ones) so retained capacity is visible to memory accounting.
+template <class T, unsigned Seg0Log = 5>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+  ~ObjectPool() {
+    for (auto& s : segs_) delete[] s.load(std::memory_order_relaxed);
+  }
+
+  uint32_t alloc() {
+    SpinGuard g(lock_);
+    if (!free_.empty()) {
+      uint32_t h = free_.back();
+      free_.pop_back();
+      return h;
+    }
+    uint32_t h = bump_++;
+    ensure_seg(seg_of(h));
+    return h;
+  }
+
+  void free_obj(uint32_t h) {
+    SpinGuard g(lock_);
+    free_.push_back(h);
+  }
+
+  T& at(uint32_t h) const {
+    unsigned b = seg_of(h);
+    T* base = segs_[b].load(std::memory_order_acquire);
+    assert(base != nullptr);
+    return base[h - seg_base(b)];
+  }
+
+  template <class F>
+  void for_each_allocated(F&& f) const {
+    for (uint32_t h = 0; h < bump_; ++h) f(at(h));
+  }
+
+  size_t memory_bytes() const {
+    return seg_bytes_.load(std::memory_order_relaxed) +
+           free_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  static constexpr unsigned kMaxSegs = 33 - Seg0Log;
+
+  static unsigned seg_of(uint32_t h) {
+    uint32_t t = h >> Seg0Log;
+    return t == 0 ? 0 : static_cast<unsigned>(std::bit_width(t));
+  }
+  static uint32_t seg_base(unsigned b) {
+    return b == 0 ? 0 : (1u << (Seg0Log + b - 1));
+  }
+  static uint32_t seg_elems(unsigned b) {
+    return b == 0 ? (1u << Seg0Log) : (1u << (Seg0Log + b - 1));
+  }
+
+  void ensure_seg(unsigned b) {
+    if (segs_[b].load(std::memory_order_relaxed) != nullptr) return;
+    T* arr = new T[seg_elems(b)]();
+    segs_[b].store(arr, std::memory_order_release);
+    seg_bytes_.fetch_add(size_t{seg_elems(b)} * sizeof(T),
+                         std::memory_order_relaxed);
+  }
+
+  Spinlock lock_;
+  std::vector<uint32_t> free_;
+  uint32_t bump_ = 0;
+  std::atomic<T*> segs_[kMaxSegs] = {};
+  std::atomic<size_t> seg_bytes_{0};
+};
+
+}  // namespace ufo::core

@@ -1,7 +1,7 @@
-// UfoCore implementation: cluster pool, aggregate maintenance (including
-// the incremental rake index), and the full query suite (App. C.2). The
-// update algorithms live in the backends (src/seq/ufo_tree.cc and
-// src/parallel/par_ufo_tree.cc).
+// UfoCore implementation: SoA cluster pools, aggregate maintenance
+// (including the incremental rake index), and the full query suite
+// (App. C.2). The update algorithms live in the backends
+// (src/seq/ufo_tree.cc and src/parallel/par_ufo_tree.cc).
 #include "core/ufo_core.h"
 
 #include <algorithm>
@@ -10,28 +10,31 @@
 
 #include "obs/metrics.h"
 #include "parallel/primitives.h"
+#include "util/random.h"
 
 namespace ufo::core {
 
 UfoCore::UfoCore(size_t n) : n_(n), vweight_(n, 1), marked_(n, 0) {
-  clusters_.resize(n + 1);
+  hot_.resize(n + 1);
+  cold_.resize(n + 1);
   for (Vertex v = 0; v < n; ++v) {
-    Cluster& c = clusters_[leaf_id(v)];
-    c.leaf_vertex = v;
-    c.level = 0;
+    hot_[leaf_id(v)].leaf_vertex = v;
+    hot_[leaf_id(v)].level = 0;
     refresh_leaf(leaf_id(v));
   }
+  live_clusters_ = n;
 }
 
 void UfoCore::refresh_leaf(uint32_t leaf) {
-  Cluster& c = clusters_[leaf];
-  Vertex v = c.leaf_vertex;
+  const Hot& h = hot_[leaf];
+  Cold& c = cold_[leaf];
+  Vertex v = h.leaf_vertex;
   c.n_verts = 1;
   c.sub_sum = vweight_[v];
   c.path_sum = 0;
   c.path_max = kNegInf;
   c.path_len = 0;
-  c.bv[0] = c.nbrs.empty() ? kNoVertex : v;
+  c.bv[0] = h.nbrs.size == 0 ? kNoVertex : v;
   c.bv[1] = kNoVertex;
   c.max_dist[0] = c.max_dist[1] = 0;
   c.sum_dist[0] = c.sum_dist[1] = 0;
@@ -42,19 +45,17 @@ void UfoCore::refresh_leaf(uint32_t leaf) {
 
 namespace {
 
-// Reset a cluster to its default-constructed state while recycling the
-// adjacency/children vector buffers — allocs/frees of pooled clusters are
-// on the per-update hot path, and dropping the capacity each time turns
-// every link/cut into several round trips to the allocator.
-template <class ClusterT>
-void recycle(ClusterT& c) {
-  auto nbrs = std::move(c.nbrs);
-  auto children = std::move(c.children);
-  nbrs.clear();
-  children.clear();
-  c = ClusterT{};
-  c.nbrs = std::move(nbrs);
-  c.children = std::move(children);
+// Grow a slab to a power-of-two capacity >= want: allocate, copy the live
+// prefix, recycle the old slab into the pool's per-level freelists.
+template <class Pool, class List>
+void slab_grow(Pool& pool, List& l, uint32_t want, int32_t level) {
+  uint32_t ncap = pow2_at_least(want, Pool::kMinCap);
+  if (ncap <= l.cap) return;
+  uint32_t nh = pool.alloc(ncap, level);
+  if (l.size) std::copy_n(pool.ptr(l.head), l.size, pool.ptr(nh));
+  if (l.cap) pool.free_slab(l.head, l.cap, level);
+  l.head = nh;
+  l.cap = ncap;
 }
 
 }  // namespace
@@ -64,12 +65,15 @@ uint32_t UfoCore::alloc_cluster(int32_t level) {
   if (!free_.empty()) {
     id = free_.back();
     free_.pop_back();
-    recycle(clusters_[id]);
+    // Freed records were zeroed at reset; slabs went back to the pools.
   } else {
-    id = static_cast<uint32_t>(clusters_.size());
-    clusters_.emplace_back();
+    id = pool_size();
+    hot_.emplace_back();
+    cold_.emplace_back();
   }
-  clusters_[id].level = level;
+  hot_[id].level = level;
+  ++live_clusters_;
+  UFO_STAT("core.cluster.allocs", 1);
   return id;
 }
 
@@ -79,59 +83,290 @@ void UfoCore::free_cluster(uint32_t c) {
 }
 
 void UfoCore::reset_cluster(uint32_t c) {
-  recycle(clusters_[c]);
-  clusters_[c].level = kFreedLevel;
+  Hot& h = hot_[c];
+  Cold& d = cold_[c];
+  int32_t level = h.level;
+  if (h.adj_index != kNullSlab)
+    idx_pool_.free_slab(h.adj_index, 2 * h.nbrs.cap, level);
+  if (h.nbrs.cap) adj_pool_.free_slab(h.nbrs.head, h.nbrs.cap, level);
+  if (h.children.cap)
+    child_pool_.free_slab(h.children.head, h.children.cap, level);
+  if (d.rake != kNullSlab) rake_pool_.free_obj(d.rake);
+  h = Hot{};
+  h.level = kFreedLevel;
+  d = Cold{};
+  --live_clusters_;
+  UFO_STAT("core.cluster.frees", 1);
 }
 
+void UfoCore::recycle_clusters(const std::vector<uint32_t>& ids) {
+  // Parallel part: zero the records, stash the slab handles. Serial part:
+  // splice every handle into the pool freelists and the ids into free_ —
+  // the "slab reset + freelist splice" bulk teardown.
+  struct Freed {
+    ListRef nbrs;
+    ListRef children;
+    uint32_t idx;
+    uint32_t rake;
+    int32_t level;
+  };
+  std::vector<Freed> freed(ids.size());
+  par::parallel_for(0, ids.size(), [&](size_t i) {
+    uint32_t c = ids[i];
+    Hot& h = hot_[c];
+    Cold& d = cold_[c];
+    freed[i] = {h.nbrs, h.children, h.adj_index, d.rake, h.level};
+    h = Hot{};
+    h.level = kFreedLevel;
+    d = Cold{};
+  });
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Freed& f = freed[i];
+    if (f.idx != kNullSlab) idx_pool_.free_slab(f.idx, 2 * f.nbrs.cap, f.level);
+    if (f.nbrs.cap) adj_pool_.free_slab(f.nbrs.head, f.nbrs.cap, f.level);
+    if (f.children.cap)
+      child_pool_.free_slab(f.children.head, f.children.cap, f.level);
+    if (f.rake != kNullSlab) rake_pool_.free_obj(f.rake);
+    free_.push_back(ids[i]);
+  }
+  live_clusters_ -= ids.size();
+  UFO_STAT("core.recycle.clusters", ids.size());
+}
+
+// --- Pooled list mutation ---------------------------------------------------
+
+void UfoCore::nbrs_push(uint32_t c, const Adj& a) {
+  Hot& h = hot_[c];
+  if (h.nbrs.size == h.nbrs.cap) {
+    bool had_idx = h.adj_index != kNullSlab;
+    if (had_idx) adj_index_drop(c);  // capacity is about to change
+    slab_grow(adj_pool_, h.nbrs, h.nbrs.size + 1, h.level);
+    if (had_idx) adj_index_build(c);
+  }
+  adj_pool_.ptr(h.nbrs.head)[h.nbrs.size++] = a;
+  if (h.adj_index != kNullSlab)
+    adj_index_insert(c, a.nbr, h.nbrs.size - 1);
+  else if (h.nbrs.size >= kAdjIdxThreshold)
+    adj_index_build(c);
+}
+
+void UfoCore::nbrs_reserve(uint32_t c, uint32_t total) {
+  Hot& h = hot_[c];
+  if (total <= h.nbrs.cap) return;
+  bool had_idx = h.adj_index != kNullSlab;
+  if (had_idx) adj_index_drop(c);
+  slab_grow(adj_pool_, h.nbrs, total, h.level);
+  if (had_idx) adj_index_build(c);
+}
+
+void UfoCore::nbrs_clear(uint32_t c) {
+  adj_index_drop(c);
+  hot_[c].nbrs.size = 0;
+}
+
+void UfoCore::children_push(uint32_t p, uint32_t c) {
+  Hot& h = hot_[p];
+  if (h.children.size == h.children.cap)
+    slab_grow(child_pool_, h.children, h.children.size + 1, h.level);
+  child_pool_.ptr(h.children.head)[h.children.size++] = c;
+}
+
+// --- Adjacency hash index ---------------------------------------------------
+// Open-addressing linear probing over uint64 slots (key << 32 | pos, 0 =
+// empty; keys are cluster ids >= 1). Capacity is always 2 * nbrs.cap — both
+// powers of two — so the table needs no stored metadata and load stays
+// <= 50%. Deletion backward-shifts the probe run, so there are no
+// tombstones and lookups never degrade.
+
+void UfoCore::adj_index_build(uint32_t c) {
+  Hot& h = hot_[c];
+  assert(h.adj_index == kNullSlab);
+  uint32_t icap = 2 * h.nbrs.cap;
+  h.adj_index = idx_pool_.alloc(icap, h.level);
+  std::fill_n(idx_pool_.ptr(h.adj_index), icap, uint64_t{0});
+  const Adj* arr = adj_pool_.ptr(h.nbrs.head);
+  for (uint32_t i = 0; i < h.nbrs.size; ++i)
+    adj_index_insert(c, arr[i].nbr, i);
+  UFO_STAT("core.adj_index.builds", 1);
+}
+
+void UfoCore::adj_index_drop(uint32_t c) {
+  Hot& h = hot_[c];
+  if (h.adj_index == kNullSlab) return;
+  idx_pool_.free_slab(h.adj_index, 2 * h.nbrs.cap, h.level);
+  h.adj_index = kNullSlab;
+  UFO_STAT("core.adj_index.drops", 1);
+}
+
+void UfoCore::maybe_drop_index(uint32_t c) {
+  if (hot_[c].adj_index != kNullSlab &&
+      hot_[c].nbrs.size < kAdjIdxThreshold / 2)
+    adj_index_drop(c);
+}
+
+void UfoCore::adj_index_insert(uint32_t c, uint32_t key, uint32_t pos) {
+  Hot& h = hot_[c];
+  uint64_t* tab = idx_pool_.ptr(h.adj_index);
+  uint32_t mask = 2 * h.nbrs.cap - 1;
+  uint32_t i = static_cast<uint32_t>(util::hash64(key)) & mask;
+  while (tab[i] != 0) i = (i + 1) & mask;
+  tab[i] = (static_cast<uint64_t>(key) << 32) | pos;
+}
+
+uint32_t UfoCore::adj_index_find(uint32_t c, uint32_t key) const {
+  const Hot& h = hot_[c];
+  const uint64_t* tab = idx_pool_.ptr(h.adj_index);
+  uint32_t mask = 2 * h.nbrs.cap - 1;
+  uint32_t i = static_cast<uint32_t>(util::hash64(key)) & mask;
+  while (tab[i] != 0) {
+    if (static_cast<uint32_t>(tab[i] >> 32) == key)
+      return static_cast<uint32_t>(tab[i]);
+    i = (i + 1) & mask;
+  }
+  return kNullSlab;
+}
+
+void UfoCore::adj_index_set_pos(uint32_t c, uint32_t key, uint32_t pos) {
+  Hot& h = hot_[c];
+  uint64_t* tab = idx_pool_.ptr(h.adj_index);
+  uint32_t mask = 2 * h.nbrs.cap - 1;
+  uint32_t i = static_cast<uint32_t>(util::hash64(key)) & mask;
+  while (static_cast<uint32_t>(tab[i] >> 32) != key) {
+    assert(tab[i] != 0 && "adj_index_set_pos: key not present");
+    i = (i + 1) & mask;
+  }
+  tab[i] = (static_cast<uint64_t>(key) << 32) | pos;
+}
+
+void UfoCore::adj_index_erase(uint32_t c, uint32_t key) {
+  Hot& h = hot_[c];
+  uint64_t* tab = idx_pool_.ptr(h.adj_index);
+  uint32_t mask = 2 * h.nbrs.cap - 1;
+  uint32_t i = static_cast<uint32_t>(util::hash64(key)) & mask;
+  while (static_cast<uint32_t>(tab[i] >> 32) != key) {
+    assert(tab[i] != 0 && "adj_index_erase: key not present");
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion: pull each later entry of the probe run into
+  // the hole if its home slot precedes the hole (cyclically).
+  uint32_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (tab[j] == 0) break;
+    uint32_t home = static_cast<uint32_t>(
+                        util::hash64(static_cast<uint32_t>(tab[j] >> 32))) &
+                    mask;
+    if (((j - home) & mask) >= ((j - i) & mask)) {
+      tab[i] = tab[j];
+      i = j;
+    }
+  }
+  tab[i] = 0;
+}
+
+// --- Adjacency --------------------------------------------------------------
+
 bool UfoCore::adj_contains(uint32_t c, uint32_t d) const {
-  for (const Adj& a : clusters_[c].nbrs)
+  if (hot_[c].adj_index != kNullSlab) return adj_index_find(c, d) != kNullSlab;
+  for (const Adj& a : nbrs(c))
     if (a.nbr == d) return true;
   return false;
 }
 
 const UfoCore::Adj* UfoCore::adj_find(uint32_t c, uint32_t d) const {
-  for (const Adj& a : clusters_[c].nbrs)
+  if (hot_[c].adj_index != kNullSlab) {
+    uint32_t pos = adj_index_find(c, d);
+    return pos == kNullSlab ? nullptr : &nbrs(c)[pos];
+  }
+  for (const Adj& a : nbrs(c))
     if (a.nbr == d) return &a;
   return nullptr;
 }
 
 void UfoCore::adj_remove(uint32_t c, uint32_t d) {
-  auto& nbrs = clusters_[c].nbrs;
-  for (size_t i = 0; i < nbrs.size(); ++i) {
-    if (nbrs[i].nbr == d) {
-      nbrs[i] = nbrs.back();
-      nbrs.pop_back();
+  Hot& h = hot_[c];
+  if (h.nbrs.size == 0) return;
+  Adj* arr = adj_pool_.ptr(h.nbrs.head);
+  if (h.adj_index != kNullSlab) {
+    uint32_t pos = adj_index_find(c, d);
+    if (pos == kNullSlab) return;
+    adj_index_erase(c, d);
+    uint32_t last = h.nbrs.size - 1;
+    if (pos != last) {
+      arr[pos] = arr[last];
+      adj_index_set_pos(c, arr[pos].nbr, pos);
+    }
+    --h.nbrs.size;
+    maybe_drop_index(c);
+    return;
+  }
+  for (uint32_t i = 0; i < h.nbrs.size; ++i) {
+    if (arr[i].nbr == d) {
+      arr[i] = arr[h.nbrs.size - 1];
+      --h.nbrs.size;
       return;
     }
   }
 }
 
+void UfoCore::adj_remove_batch(uint32_t c,
+                               const std::vector<uint32_t>& targets) {
+  if (targets.empty()) return;
+  Hot& h = hot_[c];
+  assert(h.nbrs.size >= targets.size());
+  Adj* arr = adj_pool_.ptr(h.nbrs.head);
+  if (h.adj_index != kNullSlab) {
+    // O(targets): each removal is an indexed lookup + swap-from-end. Order
+    // independent because the moved entry's index slot is updated in place.
+    for (uint32_t d : targets) {
+      uint32_t pos = adj_index_find(c, d);
+      assert(pos != kNullSlab && "batch removal target not adjacent");
+      adj_index_erase(c, d);
+      uint32_t last = h.nbrs.size - 1;
+      if (pos != last) {
+        arr[pos] = arr[last];
+        adj_index_set_pos(c, arr[pos].nbr, pos);
+      }
+      --h.nbrs.size;
+    }
+    maybe_drop_index(c);
+    return;
+  }
+  // One compaction pass against the sorted target list.
+  uint32_t w = 0;
+  for (uint32_t i = 0; i < h.nbrs.size; ++i) {
+    if (!std::binary_search(targets.begin(), targets.end(), arr[i].nbr))
+      arr[w++] = arr[i];
+  }
+  assert(h.nbrs.size - w == targets.size() &&
+         "batch removal targets must all be adjacent");
+  h.nbrs.size = w;
+}
+
 uint32_t UfoCore::tree_root(Vertex v) const {
   uint32_t c = leaf_id(v);
-  while (clusters_[c].parent != 0) c = clusters_[c].parent;
+  while (hot_[c].parent != 0) c = hot_[c].parent;
   return c;
 }
 
 void UfoCore::add_child(uint32_t p, uint32_t c) {
-  clusters_[c].parent = p;
-  clusters_[c].pos_in_parent =
-      static_cast<uint32_t>(clusters_[p].children.size());
-  clusters_[p].children.push_back(c);
+  hot_[c].parent = p;
+  hot_[c].pos_in_parent = hot_[p].children.size;
+  children_push(p, c);
 }
 
 void UfoCore::remove_child(uint32_t p, uint32_t c) {
-  auto& kids = clusters_[p].children;
-  uint32_t idx = clusters_[c].pos_in_parent;
-  assert(idx < kids.size() && kids[idx] == c);
-  uint32_t last = kids.back();
+  Hot& ph = hot_[p];
+  uint32_t* kids = child_pool_.ptr(ph.children.head);
+  uint32_t idx = hot_[c].pos_in_parent;
+  assert(idx < ph.children.size && kids[idx] == c);
+  uint32_t last = kids[ph.children.size - 1];
   kids[idx] = last;
-  clusters_[last].pos_in_parent = idx;
-  kids.pop_back();
+  hot_[last].pos_in_parent = idx;
+  --ph.children.size;
 }
 
-size_t UfoCore::degree(Vertex v) const {
-  return clusters_[leaf_id(v)].nbrs.size();
-}
+size_t UfoCore::degree(Vertex v) const { return hot_[leaf_id(v)].nbrs.size; }
 
 bool UfoCore::has_edge(Vertex u, Vertex v) const {
   return adj_contains(leaf_id(u), leaf_id(v));
@@ -151,11 +386,11 @@ void UfoCore::recompute_chain(uint32_t c) {
   uint32_t cur = c;
   while (cur != 0) {
     recompute_aggregates(cur);
-    uint32_t par = clusters_[cur].parent;
+    uint32_t par = hot_[cur].parent;
     if (par != 0) {
-      Cluster& pp = clusters_[par];
-      if (pp.center_child != 0 && pp.center_child != cur &&
-          pp.rake_index_valid) {
+      const Hot& ph = hot_[par];
+      if (ph.center_child != 0 && ph.center_child != cur &&
+          cold_[par].rake_index_valid) {
         // cur is a rake whose values changed: refresh its index entry.
         rake_index_remove(par, cur);
         rake_index_add(par, cur);
@@ -165,17 +400,21 @@ void UfoCore::recompute_chain(uint32_t c) {
   }
 }
 
-int UfoCore::boundary_slot(const Cluster& c, Vertex bv) const {
-  if (c.bv[0] == bv) return 0;
-  if (c.bv[1] == bv) return 1;
-  return -1;
+// --- Rake index -------------------------------------------------------------
+
+void UfoCore::rake_ensure(uint32_t p) {
+  if (cold_[p].rake == kNullSlab) {
+    cold_[p].rake = rake_pool_.alloc();
+    rake_pool_.at(cold_[p].rake).clear();  // recycled object may hold stale data
+  }
 }
 
 // Contribution of rake r hanging off the center vertex (depth includes the
 // rake edge hop). Caches the values on r so removal is exact.
 void UfoCore::rake_contrib_refresh(uint32_t r) {
-  Cluster& rc = clusters_[r];
-  int sr = boundary_slot(rc, rc.nbrs.empty() ? kNoVertex : rc.nbrs[0].my_end);
+  Cold& rc = cold_[r];
+  int sr = boundary_slot(
+      rc, hot_[r].nbrs.size == 0 ? kNoVertex : nbrs(r)[0].my_end);
   rc.contrib_depth = 1 + (sr >= 0 ? rc.max_dist[sr] : 0);
   rc.contrib_mark =
       sr >= 0 && rc.marked_dist[sr] < kInf ? 1 + rc.marked_dist[sr] : kInf;
@@ -188,83 +427,88 @@ void UfoCore::rake_contrib_refresh(uint32_t r) {
 
 void UfoCore::rake_index_add(uint32_t p, uint32_t r) {
   rake_contrib_refresh(r);
-  Cluster& pc = clusters_[p];
-  const Cluster& rc = clusters_[r];
-  pc.rake_depths.insert(rc.contrib_depth);
-  if (rc.contrib_mark < kInf) pc.rake_marks.insert(rc.contrib_mark);
-  pc.rake_diams.insert(rc.contrib_diam);
-  pc.rake_sub_total += rc.contrib_sub;
-  pc.rake_sumdist_total += rc.contrib_sumdist;
-  pc.rake_nverts_total += rc.contrib_nverts;
-  pc.rake_marked_total += rc.contrib_marked;
+  rake_ensure(p);
+  RakeIndex& ri = rake_of(p);
+  const Cold& rc = cold_[r];
+  ri.depths.insert(rc.contrib_depth);
+  if (rc.contrib_mark < kInf) ri.marks.insert(rc.contrib_mark);
+  ri.diams.insert(rc.contrib_diam);
+  ri.sub_total += rc.contrib_sub;
+  ri.sumdist_total += rc.contrib_sumdist;
+  ri.nverts_total += rc.contrib_nverts;
+  ri.marked_total += rc.contrib_marked;
 }
 
-namespace {
-
-// Merge a sorted run into a multiset with monotone hinted inserts:
-// O(existing + new) total, against new * log(existing) for blind inserts.
-void merge_sorted_run(std::multiset<int64_t>& ms,
-                      const std::vector<int64_t>& vals) {
-  auto hint = ms.begin();
-  for (int64_t v : vals) {
-    while (hint != ms.end() && *hint < v) ++hint;
-    hint = ms.insert(hint, v);
-    ++hint;
-  }
+void UfoCore::rake_index_remove(uint32_t p, uint32_t r) {
+  assert(cold_[p].rake != kNullSlab);
+  RakeIndex& ri = rake_of(p);
+  const Cold& rc = cold_[r];
+  ri.depths.erase_one(rc.contrib_depth);
+  if (rc.contrib_mark < kInf) ri.marks.erase_one(rc.contrib_mark);
+  ri.diams.erase_one(rc.contrib_diam);
+  ri.sub_total -= rc.contrib_sub;
+  ri.sumdist_total -= rc.contrib_sumdist;
+  ri.nverts_total -= rc.contrib_nverts;
+  ri.marked_total -= rc.contrib_marked;
 }
 
-}  // namespace
-
-// Refresh `rakes`' cached contributions in parallel, merge their sorted key
-// runs into p's index containers, and add their totals. The shared tail of
-// bulk build (into cleared containers) and bulk attach (into a standing
-// index).
+// Refresh `rakes`' cached contributions, merge their sorted key runs into
+// p's index bags, and add their totals. The shared tail of bulk build (into
+// cleared bags) and bulk attach (into a standing index). Fork-join when the
+// backend opted in and the batch is large; serial otherwise.
 void UfoCore::rake_index_merge_runs(uint32_t p,
                                     const std::vector<uint32_t>& rakes) {
-  Cluster& pc = clusters_[p];
+  rake_ensure(p);
   size_t n = rakes.size();
-  par::parallel_for(0, n, [&](size_t i) { rake_contrib_refresh(rakes[i]); });
-  std::vector<int64_t> depths(n), diams(n);
-  par::parallel_for(0, n, [&](size_t i) {
-    depths[i] = clusters_[rakes[i]].contrib_depth;
-    diams[i] = clusters_[rakes[i]].contrib_diam;
-  });
-  std::vector<int64_t> marks = par::map(n, [&](size_t i) {
-    return clusters_[rakes[i]].contrib_mark;
-  });
-  marks = par::filter(marks, [&](int64_t m) { return m < kInf; });
-  par::par_sort(depths);
-  par::par_sort(diams);
-  par::par_sort(marks);
-  merge_sorted_run(pc.rake_depths, depths);
-  merge_sorted_run(pc.rake_marks, marks);
-  merge_sorted_run(pc.rake_diams, diams);
+  std::vector<int64_t> depths(n), diams(n), marks;
+  if (parallel_bulk_ && n >= kRakeBulkThreshold) {
+    par::parallel_for(0, n, [&](size_t i) { rake_contrib_refresh(rakes[i]); });
+    par::parallel_for(0, n, [&](size_t i) {
+      depths[i] = cold_[rakes[i]].contrib_depth;
+      diams[i] = cold_[rakes[i]].contrib_diam;
+    });
+    marks = par::map(n, [&](size_t i) { return cold_[rakes[i]].contrib_mark; });
+    marks = par::filter(marks, [&](int64_t m) { return m < kInf; });
+    par::par_sort(depths);
+    par::par_sort(diams);
+    par::par_sort(marks);
+  } else {
+    marks.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rake_contrib_refresh(rakes[i]);
+      const Cold& rc = cold_[rakes[i]];
+      depths[i] = rc.contrib_depth;
+      diams[i] = rc.contrib_diam;
+      if (rc.contrib_mark < kInf) marks.push_back(rc.contrib_mark);
+    }
+    std::sort(depths.begin(), depths.end());
+    std::sort(diams.begin(), diams.end());
+    std::sort(marks.begin(), marks.end());
+  }
+  RakeIndex& ri = rake_of(p);
+  ri.depths.merge_sorted_run(depths);
+  ri.marks.merge_sorted_run(marks);
+  ri.diams.merge_sorted_run(diams);
   for (uint32_t r : rakes) {
-    const Cluster& rc = clusters_[r];
-    pc.rake_sub_total += rc.contrib_sub;
-    pc.rake_sumdist_total += rc.contrib_sumdist;
-    pc.rake_nverts_total += rc.contrib_nverts;
-    pc.rake_marked_total += rc.contrib_marked;
+    const Cold& rc = cold_[r];
+    ri.sub_total += rc.contrib_sub;
+    ri.sumdist_total += rc.contrib_sumdist;
+    ri.nverts_total += rc.contrib_nverts;
+    ri.marked_total += rc.contrib_marked;
   }
 }
 
 void UfoCore::rake_index_clear(uint32_t p) {
-  Cluster& pc = clusters_[p];
-  pc.rake_depths.clear();
-  pc.rake_marks.clear();
-  pc.rake_diams.clear();
-  pc.rake_sub_total = 0;
-  pc.rake_sumdist_total = 0;
-  pc.rake_nverts_total = 0;
-  pc.rake_marked_total = 0;
+  rake_ensure(p);
+  rake_of(p).clear();
 }
 
 void UfoCore::rake_index_build_bulk(uint32_t p) {
-  Cluster& pc = clusters_[p];
   std::vector<uint32_t> rakes;
-  rakes.reserve(pc.children.size());
-  for (uint32_t c : pc.children)
-    if (c != pc.center_child) rakes.push_back(c);
+  rakes.reserve(hot_[p].children.size);
+  uint32_t center = hot_[p].center_child;
+  for (uint32_t c : children(p))
+    if (c != center) rakes.push_back(c);
   UFO_STAT("core.rake_bulk_builds", 1);
   UFO_STAT("core.rake_bulk_rakes", rakes.size());
   rake_index_clear(p);
@@ -273,14 +517,14 @@ void UfoCore::rake_index_build_bulk(uint32_t p) {
 
 void UfoCore::rake_index_bulk_add(uint32_t p,
                                   const std::vector<uint32_t>& rakes) {
-  Cluster& pc = clusters_[p];
-  assert(pc.rake_index_valid);
+  assert(cold_[p].rake_index_valid);
   if (rakes.size() < 64) {  // merge machinery not worth spinning up
     for (uint32_t r : rakes) rake_index_add(p, r);
     return;
   }
-  if (rakes.size() * 4 >= pc.rake_depths.size()) {
-    // The new set rivals the old: one parallel rebuild beats merging.
+  rake_ensure(p);
+  if (rakes.size() * 4 >= rake_of(p).depths.size()) {
+    // The new set rivals the old: one bulk rebuild beats merging.
     rake_index_build_bulk(p);
     return;
   }
@@ -288,62 +532,43 @@ void UfoCore::rake_index_bulk_add(uint32_t p,
   rake_index_merge_runs(p, rakes);
 }
 
-void UfoCore::rake_index_remove(uint32_t p, uint32_t r) {
-  Cluster& pc = clusters_[p];
-  const Cluster& rc = clusters_[r];
-  auto erase_one = [](std::multiset<int64_t>& ms, int64_t v) {
-    auto it = ms.find(v);
-    assert(it != ms.end());
-    ms.erase(it);
-  };
-  erase_one(pc.rake_depths, rc.contrib_depth);
-  if (rc.contrib_mark < kInf) erase_one(pc.rake_marks, rc.contrib_mark);
-  erase_one(pc.rake_diams, rc.contrib_diam);
-  pc.rake_sub_total -= rc.contrib_sub;
-  pc.rake_sumdist_total -= rc.contrib_sumdist;
-  pc.rake_nverts_total -= rc.contrib_nverts;
-  pc.rake_marked_total -= rc.contrib_marked;
-}
-
 // O(log fanout) aggregate refresh for a superunary cluster whose rake index
 // is current: rake contributions come from the index, the center's from its
 // live fields.
 void UfoCore::recompute_from_rake_index(uint32_t p) {
-  Cluster& pc = clusters_[p];
-  const Cluster& x = clusters_[pc.center_child];
+  const Hot& ph = hot_[p];
+  Cold& pc = cold_[p];
+  RakeIndex& ri = rake_of(p);
+  const Cold& x = cold_[ph.center_child];
   Vertex b = x.bv[0];
   int sx = boundary_slot(x, b);
   if (sx < 0) sx = 0;  // degraded center mid-update; repaired by the walks
-  pc.bv[0] = pc.nbrs.empty() ? kNoVertex : b;
+  pc.bv[0] = ph.nbrs.size == 0 ? kNoVertex : b;
   pc.bv[1] = kNoVertex;
-  pc.n_verts = x.n_verts + pc.rake_nverts_total;
-  pc.sub_sum = x.sub_sum + pc.rake_sub_total;
-  pc.marked_count = x.marked_count + pc.rake_marked_total;
-  int64_t rake_max = pc.rake_depths.empty() ? -1 : *pc.rake_depths.rbegin();
+  pc.n_verts = x.n_verts + ri.nverts_total;
+  pc.sub_sum = x.sub_sum + ri.sub_total;
+  pc.marked_count = x.marked_count + ri.marked_total;
+  int64_t top[2];
+  int ntop = ri.depths.empty() ? 0 : ri.depths.top2(top);
+  int64_t rake_max = ntop >= 1 ? top[0] : -1;
   int64_t maxd = std::max<int64_t>(x.max_dist[sx], rake_max);
   pc.max_dist[0] = maxd;
   pc.max_dist[1] = 0;
-  pc.sum_dist[0] = x.sum_dist[sx] + pc.rake_sumdist_total;
+  pc.sum_dist[0] = x.sum_dist[sx] + ri.sumdist_total;
   pc.sum_dist[1] = 0;
   int64_t markd = x.marked_dist[sx];
-  if (!pc.rake_marks.empty())
-    markd = std::min(markd, *pc.rake_marks.begin());
+  if (!ri.marks.empty()) markd = std::min(markd, ri.marks.min());
   pc.marked_dist[0] = markd;
   pc.marked_dist[1] = kInf;
   // Diameter: child diameters plus the two deepest branches through b.
   int64_t dm = x.diam;
-  if (!pc.rake_diams.empty())
-    dm = std::max(dm, *pc.rake_diams.rbegin());
+  if (!ri.diams.empty()) dm = std::max(dm, ri.diams.max());
   // Two deepest branches through b: the center's content is one branch
   // (depth >= 0), the two deepest rakes are the other candidates.
   int64_t c0 = x.max_dist[sx];
-  auto it = pc.rake_depths.rbegin();
-  if (it != pc.rake_depths.rend()) {
-    int64_t r1 = *it;
-    ++it;
-    int64_t r2 = it != pc.rake_depths.rend() ? *it : -1;
-    dm = std::max(dm, c0 + r1);
-    if (r2 >= 0) dm = std::max(dm, r1 + r2);
+  if (ntop >= 1) {
+    dm = std::max(dm, c0 + top[0]);
+    if (ntop >= 2) dm = std::max(dm, top[0] + top[1]);
   }
   pc.diam = dm;
   pc.path_sum = 0;
@@ -357,13 +582,14 @@ void UfoCore::recompute_from_rake_index(uint32_t p) {
 }
 
 void UfoCore::recompute_aggregates(uint32_t p) {
-  Cluster& pc = clusters_[p];
-  if (pc.children.empty()) {  // leaf cluster
+  const Hot& ph = hot_[p];
+  Cold& pc = cold_[p];
+  if (ph.children.size == 0) {  // leaf cluster
     refresh_leaf(p);
     return;
   }
   pc.bv[0] = pc.bv[1] = kNoVertex;
-  for (const Adj& a : pc.nbrs) {
+  for (const Adj& a : nbrs(p)) {
     if (pc.bv[0] == kNoVertex || pc.bv[0] == a.my_end) {
       pc.bv[0] = a.my_end;
     } else if (pc.bv[1] == kNoVertex || pc.bv[1] == a.my_end) {
@@ -372,24 +598,17 @@ void UfoCore::recompute_aggregates(uint32_t p) {
       assert(false && "cluster has >2 distinct boundary vertices");
     }
   }
-  if (pc.center_child != 0) {  // superunary (high-degree) merge
+  if (ph.center_child != 0) {  // superunary (high-degree) merge
     if (!pc.rake_index_valid) {
-      if (parallel_bulk_ && pc.children.size() >= kRakeBulkThreshold) {
-        rake_index_build_bulk(p);
-      } else {
-        rake_index_clear(p);
-        for (uint32_t c : pc.children) {
-          if (c == pc.center_child) continue;
-          rake_index_add(p, c);
-        }
-      }
+      rake_index_build_bulk(p);
       pc.rake_index_valid = true;
     }
     recompute_from_rake_index(p);
     return;
   }
-  if (pc.children.size() == 1) {
-    const Cluster& c = clusters_[pc.children[0]];
+  Span<const uint32_t> kids = children(p);
+  if (ph.children.size == 1) {
+    const Cold& c = cold_[kids[0]];
     pc.n_verts = c.n_verts;
     pc.sub_sum = c.sub_sum;
     pc.marked_count = c.marked_count;
@@ -413,14 +632,14 @@ void UfoCore::recompute_aggregates(uint32_t p) {
     return;
   }
   // Pair merge (fanout 2, merge edge recorded).
-  assert(pc.children.size() == 2);
-  const Cluster& a = clusters_[pc.children[0]];
-  const Cluster& b = clusters_[pc.children[1]];
+  assert(ph.children.size == 2);
+  const Cold& a = cold_[kids[0]];
+  const Cold& b = cold_[kids[1]];
   pc.n_verts = a.n_verts + b.n_verts;
   pc.sub_sum = a.sub_sum + b.sub_sum;
   pc.marked_count = a.marked_count + b.marked_count;
-  int sa = boundary_slot(a, pc.merge_u);
-  int sb = boundary_slot(b, pc.merge_v);
+  int sa = boundary_slot(a, ph.merge_u);
+  int sb = boundary_slot(b, ph.merge_v);
   if (sa < 0 || sb < 0) {
     // The merge edge is gone from a child's boundary: a batched deletion
     // removed it, but this cluster has not been retired yet (seq
@@ -453,10 +672,10 @@ void UfoCore::recompute_aggregates(uint32_t p) {
       continue;
     }
     int qa = boundary_slot(a, q);
-    const Cluster& x = qa >= 0 ? a : b;
-    const Cluster& y = qa >= 0 ? b : a;
-    Vertex xe = qa >= 0 ? pc.merge_u : pc.merge_v;
-    Vertex ye = qa >= 0 ? pc.merge_v : pc.merge_u;
+    const Cold& x = qa >= 0 ? a : b;
+    const Cold& y = qa >= 0 ? b : a;
+    Vertex xe = qa >= 0 ? ph.merge_u : ph.merge_v;
+    Vertex ye = qa >= 0 ? ph.merge_v : ph.merge_u;
     int sq = qa >= 0 ? qa : boundary_slot(b, q);
     assert(sq >= 0);
     int sye = boundary_slot(y, ye);
@@ -484,15 +703,15 @@ void UfoCore::recompute_aggregates(uint32_t p) {
     } else {
       Vertex qa2 = b0a >= 0 ? pc.bv[0] : pc.bv[1];
       Vertex qb2 = b0a >= 0 ? pc.bv[1] : pc.bv[0];
-      Weight sum = pc.merge_w;
-      Weight mx = pc.merge_w;
+      Weight sum = ph.merge_w;
+      Weight mx = ph.merge_w;
       int64_t len = 1;
-      if (qa2 != pc.merge_u) {
+      if (qa2 != ph.merge_u) {
         sum += a.path_sum;
         mx = std::max(mx, a.path_max);
         len += a.path_len;
       }
-      if (qb2 != pc.merge_v) {
+      if (qb2 != ph.merge_v) {
         sum += b.path_sum;
         mx = std::max(mx, b.path_max);
         len += b.path_len;
@@ -506,17 +725,17 @@ void UfoCore::recompute_aggregates(uint32_t p) {
 
 bool UfoCore::check_aggregates() {
   std::vector<uint32_t> ids;
-  for (uint32_t id = 1; id < clusters_.size(); ++id)
-    if (clusters_[id].level > 0) ids.push_back(id);
+  for (uint32_t id = 1; id < pool_size(); ++id)
+    if (hot_[id].level > 0) ids.push_back(id);
   std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
-    return clusters_[a].level < clusters_[b].level;
+    return hot_[a].level < hot_[b].level;
   });
   bool ok = true;
   for (uint32_t id : ids) {
-    Cluster saved = clusters_[id];
-    clusters_[id].rake_index_valid = false;  // verify incremental == full
+    Cold saved = cold_[id];
+    cold_[id].rake_index_valid = false;  // verify incremental == full
     recompute_aggregates(id);
-    const Cluster& c = clusters_[id];
+    const Cold& c = cold_[id];
     if (saved.n_verts != c.n_verts || saved.sub_sum != c.sub_sum ||
         saved.path_sum != c.path_sum || saved.path_max != c.path_max ||
         saved.path_len != c.path_len || saved.diam != c.diam ||
@@ -534,7 +753,7 @@ bool UfoCore::check_aggregates() {
                    "plen %lld->%lld diam %lld->%lld bv (%u,%u)->(%u,%u) "
                    "maxd (%lld,%lld)->(%lld,%lld) sumd %lld->%lld "
                    "markd %lld->%lld\n",
-                   id, c.level, c.children.size(), c.center_child,
+                   id, hot_[id].level, fanout(id), hot_[id].center_child,
                    saved.n_verts, c.n_verts, (long long)saved.path_sum,
                    (long long)c.path_sum, (long long)saved.path_max,
                    (long long)c.path_max, (long long)saved.path_len,
@@ -553,71 +772,81 @@ bool UfoCore::check_aggregates() {
 
 size_t UfoCore::height(Vertex v) const {
   size_t h = 0;
-  for (uint32_t c = leaf_id(v); clusters_[c].parent != 0;
-       c = clusters_[c].parent)
-    ++h;
+  for (uint32_t c = leaf_id(v); hot_[c].parent != 0; c = hot_[c].parent) ++h;
   return h;
 }
 
-size_t UfoCore::memory_bytes() const {
-  size_t bytes = clusters_.capacity() * sizeof(Cluster) + sizeof(*this);
-  for (const Cluster& c : clusters_) {
-    bytes += c.nbrs.capacity() * sizeof(Adj);
-    bytes += c.children.capacity() * sizeof(uint32_t);
-  }
-  bytes += free_.capacity() * sizeof(uint32_t);
-  bytes += vweight_.capacity() * sizeof(Weight) + marked_.capacity();
-  return bytes;
+UfoCore::MemoryBreakdown UfoCore::memory_breakdown() const {
+  MemoryBreakdown b;
+  b.hot = hot_.capacity() * sizeof(Hot);
+  b.cold = cold_.capacity() * sizeof(Cold);
+  b.adjacency = adj_pool_.memory_bytes();
+  b.children = child_pool_.memory_bytes();
+  b.adj_index = idx_pool_.memory_bytes();
+  b.rake = rake_pool_.memory_bytes();
+  // Bag heap bytes, including capacity retained by freed-but-pooled
+  // indexes — this is what the old memory_bytes() omitted entirely.
+  rake_pool_.for_each_allocated(
+      [&](const RakeIndex& ri) { b.rake += ri.memory_bytes(); });
+  b.other = sizeof(*this) + free_.capacity() * sizeof(uint32_t) +
+            vweight_.capacity() * sizeof(Weight) + marked_.capacity();
+  b.clusters = live_clusters_;
+  return b;
 }
 
 bool UfoCore::check_valid() const {
-  for (uint32_t id = 1; id < clusters_.size(); ++id) {
-    const Cluster& c = clusters_[id];
+  for (uint32_t id = 1; id < pool_size(); ++id) {
+    const Hot& c = hot_[id];
     if (c.level == kFreedLevel) continue;
-    for (uint32_t ch : c.children) {
-      if (clusters_[ch].parent != id) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 1, id); return false; }
-      if (clusters_[ch].level != c.level - 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 2, id); return false; }
+    for (uint32_t ch : children(id)) {
+      if (hot_[ch].parent != id) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 1, id); return false; }
+      if (hot_[ch].level != c.level - 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 2, id); return false; }
     }
-    for (const Adj& a : c.nbrs) {
+    for (const Adj& a : nbrs(id)) {
       if (!adj_contains(a.nbr, id)) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 3, id); return false; }
-      if (clusters_[a.nbr].level != c.level) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 4, id); return false; }
+      if (hot_[a.nbr].level != c.level) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 4, id); return false; }
+    }
+    if (c.adj_index != kNullSlab) {
+      // The hash index, when present, must agree with the slab entry by
+      // entry (position and key).
+      for (uint32_t i = 0; i < c.nbrs.size; ++i) {
+        if (adj_index_find(id, nbrs(id)[i].nbr) != i) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 12, id); return false; }
+      }
     }
     if (c.center_child != 0) {
       // High-degree merge: every non-center child is a rake with a single
       // edge to the center.
       bool center_found = false;
-      for (uint32_t ch : c.children) {
+      for (uint32_t ch : children(id)) {
         if (ch == c.center_child) {
           center_found = true;
           continue;
         }
-        const Cluster& r = clusters_[ch];
-        if (r.nbrs.size() != 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 5, id); return false; }
-        if (r.nbrs[0].nbr != c.center_child) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 6, id); return false; }
+        if (hot_[ch].nbrs.size != 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 5, id); return false; }
+        if (nbrs(ch)[0].nbr != c.center_child) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 6, id); return false; }
       }
       if (!center_found) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 7, id); return false; }
-    } else if (c.children.size() == 2) {
+    } else if (c.children.size == 2) {
       // Pair merge: children adjacent, degree sum <= 4 at merge time.
-      if (!adj_contains(c.children[0], c.children[1])) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 8, id); return false; }
-    } else if (c.children.size() > 2) {
+      if (!adj_contains(children(id)[0], children(id)[1])) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 8, id); return false; }
+    } else if (c.children.size > 2) {
       { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 9, id); return false; }  // fanout >= 3 requires a center
     }
     // Maximality for root clusters.
-    if (c.parent == 0 && !c.nbrs.empty()) {
-      size_t d = c.nbrs.size();
-      for (const Adj& a : c.nbrs) {
-        const Cluster& y = clusters_[a.nbr];
-        size_t dy = y.nbrs.size();
+    if (c.parent == 0 && c.nbrs.size != 0) {
+      size_t d = c.nbrs.size;
+      for (const Adj& a : nbrs(id)) {
+        const Hot& y = hot_[a.nbr];
+        size_t dy = y.nbrs.size;
         bool allowed = (d + dy <= 4 && d <= 2 && dy <= 2) ||
                        (d >= 3 && dy == 1) || (dy >= 3 && d == 1);
         if (allowed && y.parent == 0) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 10, id); return false; }
       }
     }
     // High-degree clusters merge with all their degree-1 neighbors.
-    if (c.nbrs.size() >= 3 && c.parent != 0) {
-      for (const Adj& a : c.nbrs) {
-        if (clusters_[a.nbr].nbrs.size() == 1 &&
-            clusters_[a.nbr].parent != c.parent)
+    if (c.nbrs.size >= 3 && c.parent != 0) {
+      for (const Adj& a : nbrs(id)) {
+        if (hot_[a.nbr].nbrs.size == 1 && hot_[a.nbr].parent != c.parent)
           { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 11, id); return false; }
       }
     }
@@ -639,17 +868,16 @@ bool UfoCore::connected(Vertex u, Vertex v) const {
 
 bool UfoCore::is_ancestor(uint32_t anc, uint32_t leaf) const {
   uint32_t c = leaf;
-  while (c != 0 && clusters_[c].level < clusters_[anc].level)
-    c = clusters_[c].parent;
+  while (c != 0 && hot_[c].level < hot_[anc].level) c = hot_[c].parent;
   return c == anc;
 }
 
 uint32_t UfoCore::lca_cluster(uint32_t a, uint32_t b) const {
-  while (clusters_[a].level < clusters_[b].level) a = clusters_[a].parent;
-  while (clusters_[b].level < clusters_[a].level) b = clusters_[b].parent;
+  while (hot_[a].level < hot_[b].level) a = hot_[a].parent;
+  while (hot_[b].level < hot_[a].level) b = hot_[b].parent;
   while (a != b) {
-    a = clusters_[a].parent;
-    b = clusters_[b].parent;
+    a = hot_[a].parent;
+    b = hot_[b].parent;
     assert(a != 0 && b != 0 && "vertices not connected");
   }
   return a;
@@ -659,31 +887,32 @@ UfoCore::RepPath UfoCore::climb_rep_path(Vertex from, uint32_t stop,
                                          uint32_t* child) const {
   uint32_t c = leaf_id(from);
   RepPath rp;
-  while (clusters_[c].parent != stop) {
-    uint32_t p = clusters_[c].parent;
+  while (hot_[c].parent != stop) {
+    uint32_t p = hot_[c].parent;
     assert(p != 0 && "stop must be an ancestor");
-    const Cluster& pc = clusters_[p];
-    const Cluster& cc = clusters_[c];
+    const Hot& ph = hot_[p];
+    const Cold& pd = cold_[p];
+    const Cold& cd = cold_[c];
     RepPath np;
-    if (pc.center_child != 0 && c != pc.center_child) {
+    if (ph.center_child != 0 && c != ph.center_child) {
       // Climbing out of a rake: exit via its single edge, which attaches at
       // the parent's (single) boundary vertex.
-      const Adj& e = cc.nbrs[0];
-      int j = boundary_slot(cc, e.my_end);
+      const Adj& e = nbrs(c)[0];
+      int j = boundary_slot(cd, e.my_end);
       assert(j >= 0);
       for (int i = 0; i < 2; ++i) {
-        if (pc.bv[i] == kNoVertex) continue;
-        assert(pc.bv[i] == e.other_end);
+        if (pd.bv[i] == kNoVertex) continue;
+        assert(pd.bv[i] == e.other_end);
         np.sum[i] = rp.sum[j] + e.w;
         np.max[i] = std::max(rp.max[j], e.w);
         np.len[i] = rp.len[j] + 1;
       }
-    } else if (pc.children.size() == 1 || pc.center_child == c) {
+    } else if (ph.children.size == 1 || ph.center_child == c) {
       // Fanout-1 extension, or climbing through the center: the parent's
       // boundary vertices all lie inside c.
       for (int i = 0; i < 2; ++i) {
-        if (pc.bv[i] == kNoVertex) continue;
-        int j = boundary_slot(cc, pc.bv[i]);
+        if (pd.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cd, pd.bv[i]);
         assert(j >= 0);
         np.sum[i] = rp.sum[j];
         np.max[i] = rp.max[j];
@@ -691,29 +920,30 @@ UfoCore::RepPath UfoCore::climb_rep_path(Vertex from, uint32_t stop,
       }
     } else {
       // Pair merge.
-      bool first = (pc.children[0] == c);
-      uint32_t sib = first ? pc.children[1] : pc.children[0];
-      Vertex xe = first ? pc.merge_u : pc.merge_v;
-      Vertex se = first ? pc.merge_v : pc.merge_u;
-      const Cluster& sc = clusters_[sib];
+      Span<const uint32_t> kids = children(p);
+      bool first = (kids[0] == c);
+      uint32_t sib = first ? kids[1] : kids[0];
+      Vertex xe = first ? ph.merge_u : ph.merge_v;
+      Vertex se = first ? ph.merge_v : ph.merge_u;
+      const Cold& sd = cold_[sib];
       for (int i = 0; i < 2; ++i) {
-        Vertex q = pc.bv[i];
+        Vertex q = pd.bv[i];
         if (q == kNoVertex) continue;
-        int j = boundary_slot(cc, q);
+        int j = boundary_slot(cd, q);
         if (j >= 0) {
           np.sum[i] = rp.sum[j];
           np.max[i] = rp.max[j];
           np.len[i] = rp.len[j];
         } else {
-          int jx = boundary_slot(cc, xe);
-          assert(jx >= 0 && boundary_slot(sc, q) >= 0);
-          np.sum[i] = rp.sum[jx] + pc.merge_w;
-          np.max[i] = std::max(rp.max[jx], pc.merge_w);
+          int jx = boundary_slot(cd, xe);
+          assert(jx >= 0 && boundary_slot(sd, q) >= 0);
+          np.sum[i] = rp.sum[jx] + ph.merge_w;
+          np.max[i] = std::max(rp.max[jx], ph.merge_w);
           np.len[i] = rp.len[jx] + 1;
           if (q != se) {
-            np.sum[i] += sc.path_sum;
-            np.max[i] = std::max(np.max[i], sc.path_max);
-            np.len[i] += sc.path_len;
+            np.sum[i] += sd.path_sum;
+            np.max[i] = std::max(np.max[i], sd.path_max);
+            np.len[i] += sd.path_len;
           }
         }
       }
@@ -729,18 +959,17 @@ UfoCore::RepPath UfoCore::climb_rep_path(Vertex from, uint32_t stop,
 // vertex of the superunary LCA cluster.
 void UfoCore::side_to_center(uint32_t lca, uint32_t child, const RepPath& rp,
                              Weight* sum, Weight* mx, int64_t* len) const {
-  const Cluster& L = clusters_[lca];
-  const Cluster& cc = clusters_[child];
-  if (child == L.center_child) {
-    Vertex b = cc.bv[0];
-    int j = boundary_slot(cc, b);
+  const Cold& cd = cold_[child];
+  if (child == hot_[lca].center_child) {
+    Vertex b = cd.bv[0];
+    int j = boundary_slot(cd, b);
     assert(j >= 0);
     *sum = rp.sum[j];
     *mx = rp.max[j];
     *len = rp.len[j];
   } else {
-    const Adj& e = cc.nbrs[0];
-    int j = boundary_slot(cc, e.my_end);
+    const Adj& e = nbrs(child)[0];
+    int j = boundary_slot(cd, e.my_end);
     assert(j >= 0);
     *sum = rp.sum[j] + e.w;
     *mx = std::max(rp.max[j], e.w);
@@ -754,7 +983,7 @@ Weight UfoCore::path_sum(Vertex u, Vertex v) const {
   uint32_t cu = 0, cv = 0;
   RepPath ru = climb_rep_path(u, lca, &cu);
   RepPath rv = climb_rep_path(v, lca, &cv);
-  const Cluster& L = clusters_[lca];
+  const Hot& L = hot_[lca];
   if (L.center_child != 0) {
     Weight su, mu, sv, mv;
     int64_t lu, lv;
@@ -762,11 +991,12 @@ Weight UfoCore::path_sum(Vertex u, Vertex v) const {
     side_to_center(lca, cv, rv, &sv, &mv, &lv);
     return su + sv;
   }
-  assert(L.children.size() == 2);
-  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
-  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
-  int su = boundary_slot(clusters_[cu], eu);
-  int sv = boundary_slot(clusters_[cv], ev);
+  assert(L.children.size == 2);
+  Span<const uint32_t> kids = children(lca);
+  Vertex eu = (kids[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (kids[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(cold_[cu], eu);
+  int sv = boundary_slot(cold_[cv], ev);
   assert(su >= 0 && sv >= 0);
   return ru.sum[su] + L.merge_w + rv.sum[sv];
 }
@@ -777,7 +1007,7 @@ Weight UfoCore::path_max(Vertex u, Vertex v) const {
   uint32_t cu = 0, cv = 0;
   RepPath ru = climb_rep_path(u, lca, &cu);
   RepPath rv = climb_rep_path(v, lca, &cv);
-  const Cluster& L = clusters_[lca];
+  const Hot& L = hot_[lca];
   if (L.center_child != 0) {
     Weight su, mu, sv, mv;
     int64_t lu, lv;
@@ -785,10 +1015,11 @@ Weight UfoCore::path_max(Vertex u, Vertex v) const {
     side_to_center(lca, cv, rv, &sv, &mv, &lv);
     return std::max(mu, mv);
   }
-  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
-  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
-  int su = boundary_slot(clusters_[cu], eu);
-  int sv = boundary_slot(clusters_[cv], ev);
+  Span<const uint32_t> kids = children(lca);
+  Vertex eu = (kids[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (kids[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(cold_[cu], eu);
+  int sv = boundary_slot(cold_[cv], ev);
   return std::max({ru.max[su], L.merge_w, rv.max[sv]});
 }
 
@@ -798,7 +1029,7 @@ int64_t UfoCore::path_length(Vertex u, Vertex v) const {
   uint32_t cu = 0, cv = 0;
   RepPath ru = climb_rep_path(u, lca, &cu);
   RepPath rv = climb_rep_path(v, lca, &cv);
-  const Cluster& L = clusters_[lca];
+  const Hot& L = hot_[lca];
   if (L.center_child != 0) {
     Weight su, mu, sv, mv;
     int64_t lu, lv;
@@ -806,10 +1037,11 @@ int64_t UfoCore::path_length(Vertex u, Vertex v) const {
     side_to_center(lca, cv, rv, &sv, &mv, &lv);
     return lu + lv;
   }
-  Vertex eu = (L.children[0] == cu) ? L.merge_u : L.merge_v;
-  Vertex ev = (L.children[0] == cv) ? L.merge_u : L.merge_v;
-  int su = boundary_slot(clusters_[cu], eu);
-  int sv = boundary_slot(clusters_[cv], ev);
+  Span<const uint32_t> kids = children(lca);
+  Vertex eu = (kids[0] == cu) ? L.merge_u : L.merge_v;
+  Vertex ev = (kids[0] == cv) ? L.merge_u : L.merge_v;
+  int su = boundary_slot(cold_[cu], eu);
+  int sv = boundary_slot(cold_[cv], ev);
   return ru.len[su] + 1 + rv.len[sv];
 }
 
@@ -817,65 +1049,67 @@ Weight UfoCore::subtree_sum(Vertex v, Vertex p) const {
   assert(has_edge(v, p));
   uint32_t lca = lca_cluster(leaf_id(v), leaf_id(p));
   uint32_t cv = leaf_id(v), cp = leaf_id(p);
-  while (clusters_[cv].parent != lca) cv = clusters_[cv].parent;
-  while (clusters_[cp].parent != lca) cp = clusters_[cp].parent;
-  const Cluster& V = clusters_[cv];
+  while (hot_[cv].parent != lca) cv = hot_[cv].parent;
+  while (hot_[cp].parent != lca) cp = hot_[cp].parent;
+  const Cold& V = cold_[cv];
   Weight acc = V.sub_sum;
   bool in[2] = {false, false};
   for (int i = 0; i < 2; ++i)
     if (V.bv[i] != kNoVertex) in[i] = true;
   uint32_t x = cv;
   bool first = true;
-  while (clusters_[x].parent != 0) {
-    uint32_t pid = clusters_[x].parent;
-    const Cluster& pc = clusters_[pid];
-    const Cluster& xc = clusters_[x];
+  while (hot_[x].parent != 0) {
+    uint32_t pid = hot_[x].parent;
+    const Hot& ph = hot_[pid];
+    const Cold& pd = cold_[pid];
+    const Cold& xd = cold_[x];
     bool nin[2] = {false, false};
-    if (pc.center_child != 0) {
-      if (x == pc.center_child) {
-        Vertex b = xc.bv[0];
-        int jb = boundary_slot(xc, b);
+    if (ph.center_child != 0) {
+      if (x == ph.center_child) {
+        Vertex b = xd.bv[0];
+        int jb = boundary_slot(xd, b);
         assert(jb >= 0);
         bool b_in = in[jb];
-        for (uint32_t s : pc.children) {
+        for (uint32_t s : children(pid)) {
           if (s == x) continue;
           if (first && s == cp) continue;  // the (v,p) edge crosses here
-          if (b_in) acc += clusters_[s].sub_sum;
+          if (b_in) acc += cold_[s].sub_sum;
         }
         for (int i = 0; i < 2; ++i)
-          if (pc.bv[i] != kNoVertex) nin[i] = b_in;
+          if (pd.bv[i] != kNoVertex) nin[i] = b_in;
       } else {
         // x is a rake; crossing its edge reaches the rest of the tree.
-        const Adj& e = xc.nbrs[0];
-        int j = boundary_slot(xc, e.my_end);
+        const Adj& e = nbrs(x)[0];
+        int j = boundary_slot(xd, e.my_end);
         assert(j >= 0);
         bool crossing = in[j] && !first;
         if (crossing) {
-          for (uint32_t s : pc.children)
-            if (s != x) acc += clusters_[s].sub_sum;
+          for (uint32_t s : children(pid))
+            if (s != x) acc += cold_[s].sub_sum;
         }
         for (int i = 0; i < 2; ++i)
-          if (pc.bv[i] != kNoVertex) nin[i] = crossing;
+          if (pd.bv[i] != kNoVertex) nin[i] = crossing;
       }
-    } else if (pc.children.size() == 1) {
+    } else if (ph.children.size == 1) {
       for (int i = 0; i < 2; ++i) {
-        if (pc.bv[i] == kNoVertex) continue;
-        int j = boundary_slot(xc, pc.bv[i]);
+        if (pd.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(xd, pd.bv[i]);
         assert(j >= 0);
         nin[i] = in[j];
       }
     } else {
-      bool xfirst = (pc.children[0] == x);
-      uint32_t sib = xfirst ? pc.children[1] : pc.children[0];
-      Vertex xe = xfirst ? pc.merge_u : pc.merge_v;
-      const Cluster& sc = clusters_[sib];
-      int jx = boundary_slot(xc, xe);
+      Span<const uint32_t> kids = children(pid);
+      bool xfirst = (kids[0] == x);
+      uint32_t sib = xfirst ? kids[1] : kids[0];
+      Vertex xe = xfirst ? ph.merge_u : ph.merge_v;
+      const Cold& sd = cold_[sib];
+      int jx = boundary_slot(xd, xe);
       bool sib_inside = jx >= 0 && in[jx] && !(first && sib == cp);
-      if (sib_inside) acc += sc.sub_sum;
+      if (sib_inside) acc += sd.sub_sum;
       for (int i = 0; i < 2; ++i) {
-        Vertex q = pc.bv[i];
+        Vertex q = pd.bv[i];
         if (q == kNoVertex) continue;
-        int j = boundary_slot(xc, q);
+        int j = boundary_slot(xd, q);
         nin[i] = j >= 0 ? in[j] : sib_inside;
       }
     }
@@ -891,61 +1125,63 @@ size_t UfoCore::subtree_size(Vertex v, Vertex p) const {
   assert(has_edge(v, p));
   uint32_t lca = lca_cluster(leaf_id(v), leaf_id(p));
   uint32_t cv = leaf_id(v), cp = leaf_id(p);
-  while (clusters_[cv].parent != lca) cv = clusters_[cv].parent;
-  while (clusters_[cp].parent != lca) cp = clusters_[cp].parent;
-  const Cluster& V = clusters_[cv];
+  while (hot_[cv].parent != lca) cv = hot_[cv].parent;
+  while (hot_[cp].parent != lca) cp = hot_[cp].parent;
+  const Cold& V = cold_[cv];
   size_t acc = V.n_verts;
   bool in[2] = {false, false};
   for (int i = 0; i < 2; ++i)
     if (V.bv[i] != kNoVertex) in[i] = true;
   uint32_t x = cv;
   bool first = true;
-  while (clusters_[x].parent != 0) {
-    uint32_t pid = clusters_[x].parent;
-    const Cluster& pc = clusters_[pid];
-    const Cluster& xc = clusters_[x];
+  while (hot_[x].parent != 0) {
+    uint32_t pid = hot_[x].parent;
+    const Hot& ph = hot_[pid];
+    const Cold& pd = cold_[pid];
+    const Cold& xd = cold_[x];
     bool nin[2] = {false, false};
-    if (pc.center_child != 0) {
-      if (x == pc.center_child) {
-        Vertex b = xc.bv[0];
-        int jb = boundary_slot(xc, b);
+    if (ph.center_child != 0) {
+      if (x == ph.center_child) {
+        Vertex b = xd.bv[0];
+        int jb = boundary_slot(xd, b);
         bool b_in = jb >= 0 && in[jb];
-        for (uint32_t s : pc.children) {
+        for (uint32_t s : children(pid)) {
           if (s == x) continue;
           if (first && s == cp) continue;
-          if (b_in) acc += clusters_[s].n_verts;
+          if (b_in) acc += cold_[s].n_verts;
         }
         for (int i = 0; i < 2; ++i)
-          if (pc.bv[i] != kNoVertex) nin[i] = b_in;
+          if (pd.bv[i] != kNoVertex) nin[i] = b_in;
       } else {
-        const Adj& e = xc.nbrs[0];
-        int j = boundary_slot(xc, e.my_end);
+        const Adj& e = nbrs(x)[0];
+        int j = boundary_slot(xd, e.my_end);
         bool crossing = j >= 0 && in[j] && !first;
         if (crossing) {
-          for (uint32_t s : pc.children)
-            if (s != x) acc += clusters_[s].n_verts;
+          for (uint32_t s : children(pid))
+            if (s != x) acc += cold_[s].n_verts;
         }
         for (int i = 0; i < 2; ++i)
-          if (pc.bv[i] != kNoVertex) nin[i] = crossing;
+          if (pd.bv[i] != kNoVertex) nin[i] = crossing;
       }
-    } else if (pc.children.size() == 1) {
+    } else if (ph.children.size == 1) {
       for (int i = 0; i < 2; ++i) {
-        if (pc.bv[i] == kNoVertex) continue;
-        int j = boundary_slot(xc, pc.bv[i]);
+        if (pd.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(xd, pd.bv[i]);
         nin[i] = j >= 0 && in[j];
       }
     } else {
-      bool xfirst = (pc.children[0] == x);
-      uint32_t sib = xfirst ? pc.children[1] : pc.children[0];
-      Vertex xe = xfirst ? pc.merge_u : pc.merge_v;
-      const Cluster& sc = clusters_[sib];
-      int jx = boundary_slot(xc, xe);
+      Span<const uint32_t> kids = children(pid);
+      bool xfirst = (kids[0] == x);
+      uint32_t sib = xfirst ? kids[1] : kids[0];
+      Vertex xe = xfirst ? ph.merge_u : ph.merge_v;
+      const Cold& sd = cold_[sib];
+      int jx = boundary_slot(xd, xe);
       bool sib_inside = jx >= 0 && in[jx] && !(first && sib == cp);
-      if (sib_inside) acc += sc.n_verts;
+      if (sib_inside) acc += sd.n_verts;
       for (int i = 0; i < 2; ++i) {
-        Vertex q = pc.bv[i];
+        Vertex q = pd.bv[i];
         if (q == kNoVertex) continue;
-        int j = boundary_slot(xc, q);
+        int j = boundary_slot(xd, q);
         nin[i] = j >= 0 ? in[j] : sib_inside;
       }
     }
@@ -959,25 +1195,25 @@ size_t UfoCore::subtree_size(Vertex v, Vertex p) const {
 
 void UfoCore::path_milestone(Vertex u, Vertex v, Vertex* a, Vertex* b) const {
   uint32_t lca = lca_cluster(leaf_id(u), leaf_id(v));
-  const Cluster& L = clusters_[lca];
+  const Hot& L = hot_[lca];
   uint32_t cu = leaf_id(u);
-  while (clusters_[cu].parent != lca) cu = clusters_[cu].parent;
+  while (hot_[cu].parent != lca) cu = hot_[cu].parent;
   if (L.center_child != 0) {
-    Vertex center = clusters_[L.center_child].bv[0];
+    Vertex center = cold_[L.center_child].bv[0];
     if (cu == L.center_child) {
       // u-side reaches the center vertex first, then exits into v's rake.
       uint32_t cv = leaf_id(v);
-      while (clusters_[cv].parent != lca) cv = clusters_[cv].parent;
+      while (hot_[cv].parent != lca) cv = hot_[cv].parent;
       *a = center;
-      *b = clusters_[cv].nbrs[0].my_end;
+      *b = nbrs(cv)[0].my_end;
     } else {
-      *a = clusters_[cu].nbrs[0].my_end;
+      *a = nbrs(cu)[0].my_end;
       *b = center;
     }
     return;
   }
-  assert(L.children.size() == 2);
-  if (L.children[0] == cu) {
+  assert(L.children.size == 2);
+  if (children(lca)[0] == cu) {
     *a = L.merge_u;
     *b = L.merge_v;
   } else {
@@ -1017,75 +1253,77 @@ Vertex UfoCore::lca(Vertex u, Vertex v, Vertex r) const {
 }
 
 int64_t UfoCore::component_diameter(Vertex v) const {
-  return clusters_[tree_root(v)].diam;
+  return cold_[tree_root(v)].diam;
 }
 
 int64_t UfoCore::nearest_marked_distance(Vertex v) const {
   int64_t best = marked_[v] ? 0 : kInf;
   uint32_t c = leaf_id(v);
   int64_t len[2] = {0, 0};
-  while (clusters_[c].parent != 0) {
-    uint32_t pid = clusters_[c].parent;
-    const Cluster& pc = clusters_[pid];
-    const Cluster& cc = clusters_[c];
+  while (hot_[c].parent != 0) {
+    uint32_t pid = hot_[c].parent;
+    const Hot& ph = hot_[pid];
+    const Cold& pd = cold_[pid];
+    const Cold& cd = cold_[c];
     int64_t nlen[2] = {0, 0};
-    if (pc.center_child != 0) {
-      if (c == pc.center_child) {
-        Vertex b = cc.bv[0];
-        int jb = boundary_slot(cc, b);
+    if (ph.center_child != 0) {
+      if (c == ph.center_child) {
+        Vertex b = cd.bv[0];
+        int jb = boundary_slot(cd, b);
         assert(jb >= 0);
-        for (uint32_t s : pc.children) {
+        for (uint32_t s : children(pid)) {
           if (s == c) continue;
-          const Cluster& sc = clusters_[s];
-          int js = boundary_slot(sc, sc.nbrs[0].my_end);
-          if (js >= 0 && sc.marked_dist[js] < kInf)
-            best = std::min(best, len[jb] + 1 + sc.marked_dist[js]);
+          const Cold& sd = cold_[s];
+          int js = boundary_slot(sd, nbrs(s)[0].my_end);
+          if (js >= 0 && sd.marked_dist[js] < kInf)
+            best = std::min(best, len[jb] + 1 + sd.marked_dist[js]);
         }
         for (int i = 0; i < 2; ++i)
-          if (pc.bv[i] != kNoVertex) nlen[i] = len[jb];
+          if (pd.bv[i] != kNoVertex) nlen[i] = len[jb];
       } else {
-        const Adj& e = cc.nbrs[0];
-        int j = boundary_slot(cc, e.my_end);
+        const Adj& e = nbrs(c)[0];
+        int j = boundary_slot(cd, e.my_end);
         assert(j >= 0);
         int64_t at_b = len[j] + 1;  // distance from v to the center vertex
-        const Cluster& xc = clusters_[pc.center_child];
-        int jb = boundary_slot(xc, xc.bv[0]);
-        if (jb >= 0 && xc.marked_dist[jb] < kInf)
-          best = std::min(best, at_b + xc.marked_dist[jb]);
-        for (uint32_t s : pc.children) {
-          if (s == c || s == pc.center_child) continue;
-          const Cluster& sc = clusters_[s];
-          int js = boundary_slot(sc, sc.nbrs[0].my_end);
-          if (js >= 0 && sc.marked_dist[js] < kInf)
-            best = std::min(best, at_b + 1 + sc.marked_dist[js]);
+        const Cold& xd = cold_[ph.center_child];
+        int jb = boundary_slot(xd, xd.bv[0]);
+        if (jb >= 0 && xd.marked_dist[jb] < kInf)
+          best = std::min(best, at_b + xd.marked_dist[jb]);
+        for (uint32_t s : children(pid)) {
+          if (s == c || s == ph.center_child) continue;
+          const Cold& sd = cold_[s];
+          int js = boundary_slot(sd, nbrs(s)[0].my_end);
+          if (js >= 0 && sd.marked_dist[js] < kInf)
+            best = std::min(best, at_b + 1 + sd.marked_dist[js]);
         }
         for (int i = 0; i < 2; ++i)
-          if (pc.bv[i] != kNoVertex) nlen[i] = at_b;
+          if (pd.bv[i] != kNoVertex) nlen[i] = at_b;
       }
-    } else if (pc.children.size() == 2) {
-      bool first = (pc.children[0] == c);
-      uint32_t sib = first ? pc.children[1] : pc.children[0];
-      Vertex xe = first ? pc.merge_u : pc.merge_v;
-      Vertex se = first ? pc.merge_v : pc.merge_u;
-      const Cluster& sc = clusters_[sib];
-      int jx = boundary_slot(cc, xe);
-      int js = boundary_slot(sc, se);
+    } else if (ph.children.size == 2) {
+      Span<const uint32_t> kids = children(pid);
+      bool first = (kids[0] == c);
+      uint32_t sib = first ? kids[1] : kids[0];
+      Vertex xe = first ? ph.merge_u : ph.merge_v;
+      Vertex se = first ? ph.merge_v : ph.merge_u;
+      const Cold& sd = cold_[sib];
+      int jx = boundary_slot(cd, xe);
+      int js = boundary_slot(sd, se);
       assert(jx >= 0 && js >= 0);
-      if (sc.marked_dist[js] < kInf)
-        best = std::min(best, len[jx] + 1 + sc.marked_dist[js]);
+      if (sd.marked_dist[js] < kInf)
+        best = std::min(best, len[jx] + 1 + sd.marked_dist[js]);
       for (int i = 0; i < 2; ++i) {
-        Vertex q = pc.bv[i];
+        Vertex q = pd.bv[i];
         if (q == kNoVertex) continue;
-        int j = boundary_slot(cc, q);
+        int j = boundary_slot(cd, q);
         if (j >= 0)
           nlen[i] = len[j];
         else
-          nlen[i] = len[jx] + 1 + (q == se ? 0 : sc.path_len);
+          nlen[i] = len[jx] + 1 + (q == se ? 0 : sd.path_len);
       }
     } else {
       for (int i = 0; i < 2; ++i) {
-        if (pc.bv[i] == kNoVertex) continue;
-        int j = boundary_slot(cc, pc.bv[i]);
+        if (pd.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cd, pd.bv[i]);
         assert(j >= 0);
         nlen[i] = len[j];
       }
@@ -1100,25 +1338,27 @@ int64_t UfoCore::nearest_marked_distance(Vertex v) const {
 Vertex UfoCore::component_center(Vertex v) const {
   uint32_t c = tree_root(v);
   int64_t ext[2] = {INT64_MIN / 4, INT64_MIN / 4};
-  while (!clusters_[c].children.empty()) {
-    const Cluster& pc = clusters_[c];
-    if (pc.center_child != 0) {
-      const Cluster& xc = clusters_[pc.center_child];
-      Vertex b = xc.bv[0];
-      int sxb = boundary_slot(xc, b);
+  while (hot_[c].children.size != 0) {
+    const Hot& ph = hot_[c];
+    const Cold& pd = cold_[c];
+    Span<const uint32_t> kids = children(c);
+    if (ph.center_child != 0) {
+      const Cold& xd = cold_[ph.center_child];
+      Vertex b = xd.bv[0];
+      int sxb = boundary_slot(xd, b);
       assert(sxb >= 0);
       int64_t extb = INT64_MIN / 4;
       for (int i = 0; i < 2; ++i)
-        if (pc.bv[i] == b) extb = std::max(extb, ext[i]);
+        if (pd.bv[i] == b) extb = std::max(extb, ext[i]);
       // Branch depths from b.
-      int64_t far_x = xc.max_dist[sxb];
+      int64_t far_x = xd.max_dist[sxb];
       uint32_t best_rake = 0;
       int64_t best_far = INT64_MIN / 4, second_far = INT64_MIN / 4;
-      for (uint32_t s : pc.children) {
-        if (s == pc.center_child) continue;
-        const Cluster& sc = clusters_[s];
-        int js = boundary_slot(sc, sc.nbrs[0].my_end);
-        int64_t far = 1 + sc.max_dist[js];
+      for (uint32_t s : kids) {
+        if (s == ph.center_child) continue;
+        const Cold& sd = cold_[s];
+        int js = boundary_slot(sd, nbrs(s)[0].my_end);
+        int64_t far = 1 + sd.max_dist[js];
         if (far > best_far) {
           second_far = best_far;
           best_far = far;
@@ -1132,8 +1372,8 @@ Vertex UfoCore::component_center(Vertex v) const {
       if (best_rake != 0 && best_far > others_vs_rake &&
           best_far > std::max(far_x, extb)) {
         // Center strictly inside the deepest rake.
-        const Cluster& sc = clusters_[best_rake];
-        int js = boundary_slot(sc, sc.nbrs[0].my_end);
+        const Cold& sd = cold_[best_rake];
+        int js = boundary_slot(sd, nbrs(best_rake)[0].my_end);
         int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
         if (js >= 0)
           next[js] = 1 + std::max({far_x, extb, second_far});
@@ -1142,22 +1382,22 @@ Vertex UfoCore::component_center(Vertex v) const {
         c = best_rake;
       } else {
         int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
-        int jb = boundary_slot(xc, b);
+        int jb = boundary_slot(xd, b);
         int64_t from_rakes = best_far >= 0 ? best_far : INT64_MIN / 4;
         next[jb] = std::max(extb, from_rakes);
         ext[0] = next[0];
         ext[1] = next[1];
-        c = pc.center_child;
+        c = ph.center_child;
       }
       continue;
     }
-    if (pc.children.size() == 1) {
-      uint32_t ch = pc.children[0];
-      const Cluster& cc = clusters_[ch];
+    if (ph.children.size == 1) {
+      uint32_t ch = kids[0];
+      const Cold& cd = cold_[ch];
       int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
       for (int i = 0; i < 2; ++i) {
-        if (pc.bv[i] == kNoVertex) continue;
-        int j = boundary_slot(cc, pc.bv[i]);
+        if (pd.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cd, pd.bv[i]);
         if (j >= 0) next[j] = std::max(next[j], ext[i]);
       }
       ext[0] = next[0];
@@ -1165,15 +1405,15 @@ Vertex UfoCore::component_center(Vertex v) const {
       c = ch;
       continue;
     }
-    uint32_t A = pc.children[0], B = pc.children[1];
-    const Cluster& ac = clusters_[A];
-    const Cluster& bc = clusters_[B];
-    int sa = boundary_slot(ac, pc.merge_u);
-    int sb = boundary_slot(bc, pc.merge_v);
-    auto side_far = [&](const Cluster& side, int sm, Vertex me) -> int64_t {
+    uint32_t A = kids[0], B = kids[1];
+    const Cold& ad = cold_[A];
+    const Cold& bd = cold_[B];
+    int sa = boundary_slot(ad, ph.merge_u);
+    int sb = boundary_slot(bd, ph.merge_v);
+    auto side_far = [&](const Cold& side, int sm, Vertex me) -> int64_t {
       int64_t far = side.max_dist[sm];
       for (int i = 0; i < 2; ++i) {
-        Vertex q = pc.bv[i];
+        Vertex q = pd.bv[i];
         if (q == kNoVertex || ext[i] <= INT64_MIN / 8) continue;
         int j = boundary_slot(side, q);
         if (j < 0) continue;
@@ -1182,18 +1422,18 @@ Vertex UfoCore::component_center(Vertex v) const {
       }
       return far;
     };
-    int64_t fa = side_far(ac, sa, pc.merge_u);
-    int64_t fb = side_far(bc, sb, pc.merge_v);
-    const Cluster& go = fa >= fb ? ac : bc;
+    int64_t fa = side_far(ad, sa, ph.merge_u);
+    int64_t fb = side_far(bd, sb, ph.merge_v);
+    const Cold& go = fa >= fb ? ad : bd;
     uint32_t goid = fa >= fb ? A : B;
-    Vertex ge = fa >= fb ? pc.merge_u : pc.merge_v;
+    Vertex ge = fa >= fb ? ph.merge_u : ph.merge_v;
     int64_t other_far = fa >= fb ? fb : fa;
     int64_t next[2] = {INT64_MIN / 4, INT64_MIN / 4};
     for (int i = 0; i < 2; ++i) {
       if (go.bv[i] == kNoVertex) continue;
       if (go.bv[i] == ge) next[i] = std::max(next[i], other_far + 1);
       for (int k = 0; k < 2; ++k) {
-        if (pc.bv[k] == go.bv[i] && ext[k] > INT64_MIN / 8)
+        if (pd.bv[k] == go.bv[i] && ext[k] > INT64_MIN / 8)
           next[i] = std::max(next[i], ext[k]);
       }
     }
@@ -1201,57 +1441,59 @@ Vertex UfoCore::component_center(Vertex v) const {
     ext[1] = next[1];
     c = goid;
   }
-  return clusters_[c].leaf_vertex;
+  return hot_[c].leaf_vertex;
 }
 
 Vertex UfoCore::component_median(Vertex v) const {
   uint32_t c = tree_root(v);
   int64_t extw[2] = {0, 0};
-  while (!clusters_[c].children.empty()) {
-    const Cluster& pc = clusters_[c];
-    if (pc.center_child != 0) {
-      const Cluster& xc = clusters_[pc.center_child];
-      Vertex b = xc.bv[0];
+  while (hot_[c].children.size != 0) {
+    const Hot& ph = hot_[c];
+    const Cold& pd = cold_[c];
+    Span<const uint32_t> kids = children(c);
+    if (ph.center_child != 0) {
+      const Cold& xd = cold_[ph.center_child];
+      Vertex b = xd.bv[0];
       int64_t extb = 0;
       for (int i = 0; i < 2; ++i)
-        if (pc.bv[i] == b) extb += extw[i];
-      int64_t total = pc.sub_sum + extb;
+        if (pd.bv[i] == b) extb += extw[i];
+      int64_t total = pd.sub_sum + extb;
       // If some rake holds more than half the weight, the median is inside
       // it; otherwise it is at b or inside the center child.
       uint32_t heavy = 0;
-      for (uint32_t s : pc.children) {
-        if (s == pc.center_child) continue;
-        if (2 * clusters_[s].sub_sum > total) {
+      for (uint32_t s : kids) {
+        if (s == ph.center_child) continue;
+        if (2 * cold_[s].sub_sum > total) {
           heavy = s;
           break;
         }
       }
       if (heavy != 0) {
-        const Cluster& sc = clusters_[heavy];
-        int js = boundary_slot(sc, sc.nbrs[0].my_end);
+        const Cold& sd = cold_[heavy];
+        int js = boundary_slot(sd, nbrs(heavy)[0].my_end);
         int64_t next[2] = {0, 0};
-        if (js >= 0) next[js] = total - sc.sub_sum;
+        if (js >= 0) next[js] = total - sd.sub_sum;
         extw[0] = next[0];
         extw[1] = next[1];
         c = heavy;
       } else {
-        int jb = boundary_slot(xc, b);
-        int64_t outside_x = total - xc.sub_sum;
+        int jb = boundary_slot(xd, b);
+        int64_t outside_x = total - xd.sub_sum;
         int64_t next[2] = {0, 0};
         next[jb] = outside_x;
         extw[0] = next[0];
         extw[1] = next[1];
-        c = pc.center_child;
+        c = ph.center_child;
       }
       continue;
     }
-    if (pc.children.size() == 1) {
-      uint32_t ch = pc.children[0];
-      const Cluster& cc = clusters_[ch];
+    if (ph.children.size == 1) {
+      uint32_t ch = kids[0];
+      const Cold& cd = cold_[ch];
       int64_t next[2] = {0, 0};
       for (int i = 0; i < 2; ++i) {
-        if (pc.bv[i] == kNoVertex) continue;
-        int j = boundary_slot(cc, pc.bv[i]);
+        if (pd.bv[i] == kNoVertex) continue;
+        int j = boundary_slot(cd, pd.bv[i]);
         if (j >= 0) next[j] += extw[i];
       }
       extw[0] = next[0];
@@ -1259,37 +1501,37 @@ Vertex UfoCore::component_median(Vertex v) const {
       c = ch;
       continue;
     }
-    uint32_t A = pc.children[0], B = pc.children[1];
-    const Cluster& ac = clusters_[A];
-    const Cluster& bc = clusters_[B];
-    auto side_weight = [&](const Cluster& side) -> int64_t {
+    uint32_t A = kids[0], B = kids[1];
+    const Cold& ad = cold_[A];
+    const Cold& bd = cold_[B];
+    auto side_weight = [&](const Cold& side) -> int64_t {
       int64_t w = side.sub_sum;
       for (int i = 0; i < 2; ++i) {
-        Vertex q = pc.bv[i];
+        Vertex q = pd.bv[i];
         if (q == kNoVertex) continue;
         if (boundary_slot(side, q) >= 0) w += extw[i];
       }
       return w;
     };
-    int64_t wa = side_weight(ac);
-    int64_t wb = side_weight(bc);
-    const Cluster& go = wa >= wb ? ac : bc;
+    int64_t wa = side_weight(ad);
+    int64_t wb = side_weight(bd);
+    const Cold& go = wa >= wb ? ad : bd;
     uint32_t goid = wa >= wb ? A : B;
-    Vertex ge = wa >= wb ? pc.merge_u : pc.merge_v;
+    Vertex ge = wa >= wb ? ph.merge_u : ph.merge_v;
     int64_t other_w = wa >= wb ? wb : wa;
     int64_t next[2] = {0, 0};
     for (int i = 0; i < 2; ++i) {
       if (go.bv[i] == kNoVertex) continue;
       if (go.bv[i] == ge) next[i] += other_w;
       for (int k = 0; k < 2; ++k) {
-        if (pc.bv[k] == go.bv[i]) next[i] += extw[k];
+        if (pd.bv[k] == go.bv[i]) next[i] += extw[k];
       }
     }
     extw[0] = next[0];
     extw[1] = next[1];
     c = goid;
   }
-  return clusters_[c].leaf_vertex;
+  return hot_[c].leaf_vertex;
 }
 
 }  // namespace ufo::core

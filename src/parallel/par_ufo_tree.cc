@@ -50,7 +50,7 @@ void UfoTree::batch_cut(const std::vector<Edge>& edges) {
 }
 
 void UfoTree::ensure_scratch() {
-  size_t n = clusters_.size();
+  size_t n = pool_size();
   if (state_.size() < n) state_.resize(n, 0);
   if (proposal_.size() < n) proposal_.resize(n, 0);
   if (doomed_.size() < n) doomed_.resize(n, 0);
@@ -67,25 +67,9 @@ uint8_t UfoTree::role_of(uint32_t c) const {
 }
 
 void UfoTree::root_into_frontier(uint32_t c) {
-  size_t lvl = static_cast<size_t>(clusters_[c].level);
+  size_t lvl = static_cast<size_t>(hot_[c].level);
   if (frontier_.size() <= lvl) frontier_.resize(lvl + 1);
   frontier_[lvl].push_back(c);
-}
-
-// Remove every adjacency entry whose neighbor is in the sorted `targets`,
-// with one compaction pass: O(degree + |targets| log |targets|) against
-// O(degree * |targets|) for repeated adj_remove scans. This is what makes k
-// deletions against a single high-degree cluster (the star's hub) linear.
-void UfoTree::adj_remove_batch(uint32_t c,
-                               const std::vector<uint32_t>& targets) {
-  auto& nbrs = clusters_[c].nbrs;
-  size_t w = 0;
-  for (size_t i = 0; i < nbrs.size(); ++i) {
-    if (!std::binary_search(targets.begin(), targets.end(), nbrs[i].nbr))
-      nbrs[w++] = nbrs[i];
-  }
-  assert(nbrs.size() - w == targets.size() && "batch removes a missing edge");
-  nbrs.resize(w);
 }
 
 // Apply the batch's edge updates at every level where both endpoints'
@@ -105,8 +89,8 @@ void UfoTree::edge_level_ops(const std::vector<Update>& ops, bool insert) {
     size_t levels = 0;
     while (a != 0 && b != 0 && a != b) {
       ++levels;
-      a = clusters_[a].parent;
-      b = clusters_[b].parent;
+      a = hot_[a].parent;
+      b = hot_[b].parent;
     }
     off[i] = 2 * levels;
   });
@@ -118,8 +102,8 @@ void UfoTree::edge_level_ops(const std::vector<Update>& ops, bool insert) {
     while (a != 0 && b != 0 && a != b) {
       flat[at++] = {a, {b, ops[i].u, ops[i].v, ops[i].w}};
       flat[at++] = {b, {a, ops[i].v, ops[i].u, ops[i].w}};
-      a = clusters_[a].parent;
-      b = clusters_[b].parent;
+      a = hot_[a].parent;
+      b = hot_[b].parent;
     }
   });
   auto groups = group_by_key(flat);
@@ -127,10 +111,11 @@ void UfoTree::edge_level_ops(const std::vector<Update>& ops, bool insert) {
     auto [begin, end] = groups[g];
     uint32_t c = flat[begin].first;
     if (insert) {
+      nbrs_reserve(c, hot_[c].nbrs.size + static_cast<uint32_t>(end - begin));
       for (size_t i = begin; i < end; ++i) {
         assert(!adj_contains(c, flat[i].second.nbr) &&
                "batch inserts a present edge");
-        clusters_[c].nbrs.push_back(flat[i].second);
+        nbrs_push(c, flat[i].second);
       }
     } else {
       std::vector<uint32_t> targets(end - begin);
@@ -161,16 +146,16 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
     // Walks whose child is parentless are done: a surviving chain top joins
     // the frontier (deleted tops already re-rooted their children).
     for (const Token& t : toks) {
-      if (clusters_[t.child].parent == 0 && !t.deleted)
+      if (hot_[t.child].parent == 0 && !t.deleted)
         root_into_frontier(t.child);
     }
     std::vector<Token> rest = filter(
-        toks, [&](const Token& t) { return clusters_[t.child].parent != 0; });
+        toks, [&](const Token& t) { return hot_[t.child].parent != 0; });
     if (rest.empty()) break;
 
     std::vector<std::pair<uint32_t, uint32_t>> byp(rest.size());
     parallel_for(0, rest.size(), [&](size_t i) {
-      byp[i] = {clusters_[rest[i].child].parent, static_cast<uint32_t>(i)};
+      byp[i] = {hot_[rest[i].child].parent, static_cast<uint32_t>(i)};
     });
     auto groups = group_by_key(byp);
     size_t ngroups = groups.size();
@@ -183,38 +168,38 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
     parallel_for(0, ngroups, [&](size_t g) {
       auto [begin, end] = groups[g];
       uint32_t cur = byp[begin].first;
-      Cluster& cc = clusters_[cur];
+      Hot& ch = hot_[cur];
       // Detach walk children that were deleted at the previous level.
       bool center_gone = false;
       for (size_t i = begin; i < end; ++i) {
         const Token& t = rest[byp[i].second];
         if (!t.deleted) continue;
-        if (cc.center_child == t.child) {
+        if (ch.center_child == t.child) {
           center_gone = true;
-        } else if (cc.center_child != 0 && cc.rake_index_valid) {
+        } else if (ch.center_child != 0 && cold_[cur].rake_index_valid) {
           rake_index_remove(cur, t.child);
         }
         remove_child(cur, t.child);
       }
-      bool deletable = cc.nbrs.size() < 3 && cc.children.size() < 3;
+      bool deletable = ch.nbrs.size < 3 && ch.children.size < 3;
       // A pair merge whose merge edge was deleted by this batch is no
       // longer a valid merge regardless of degree drift: delete it rather
       // than keep a stale pair whose aggregates cannot be recomputed.
-      if (!deletable && cc.center_child == 0 && cc.children.size() == 2 &&
-          !adj_contains(cc.children[0], cc.children[1]))
+      if (!deletable && ch.center_child == 0 && ch.children.size == 2 &&
+          !adj_contains(children(cur)[0], children(cur)[1]))
         deletable = true;
       // A high-degree merge whose center is being removed (deleted below,
       // or about to be stripped as a low-degree child) is no longer a valid
       // merge: delete cur outright. Its degree is bounded by the former
       // center's (< 3), so this preserves the update cost bound.
-      if (!deletable && cc.center_child != 0) {
+      if (!deletable && ch.center_child != 0) {
         if (center_gone) {
           deletable = true;
         } else {
           for (size_t i = begin; i < end && !deletable; ++i) {
             const Token& t = rest[byp[i].second];
-            if (!t.deleted && t.child == cc.center_child &&
-                clusters_[t.child].nbrs.size() <= 2)
+            if (!t.deleted && t.child == ch.center_child &&
+                hot_[t.child].nbrs.size <= 2)
               deletable = true;
           }
         }
@@ -227,13 +212,13 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
         // instead — the generic doomed-adjacency cleanup handles it.
         for (size_t i = begin; i < end && !deletable; ++i) {
           const Token& t = rest[byp[i].second];
-          if (t.deleted || clusters_[t.child].nbrs.size() > 2) continue;
-          for (const Adj& a : clusters_[t.child].nbrs) {
+          if (t.deleted || hot_[t.child].nbrs.size > 2) continue;
+          for (const Adj& a : nbrs(t.child)) {
             // Atomic read: a concurrent group deleting the neighbor's
             // parent re-roots it (stores 0) in this same round. Either
             // value differs from cur, so the decision is unaffected — the
             // atomicity only keeps the unsynchronized access defined.
-            uint32_t np = std::atomic_ref<uint32_t>(clusters_[a.nbr].parent)
+            uint32_t np = std::atomic_ref<uint32_t>(hot_[a.nbr].parent)
                               .load(std::memory_order_relaxed);
             if (np != cur) {
               deletable = true;
@@ -245,10 +230,10 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
       if (deletable) {
         doomed_[cur] = 1;
         died[g] = 1;
-        for (uint32_t ch : cc.children) {
-          std::atomic_ref<uint32_t>(clusters_[ch].parent)
+        for (uint32_t kid : children(cur)) {
+          std::atomic_ref<uint32_t>(hot_[kid].parent)
               .store(0, std::memory_order_relaxed);
-          rooted[g].push_back(ch);
+          rooted[g].push_back(kid);
         }
         next[g] = {cur, true};
       } else {
@@ -256,11 +241,11 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
           const Token& t = rest[byp[i].second];
           if (t.deleted) continue;
           uint32_t c = t.child;
-          if (clusters_[c].nbrs.size() > 2) continue;  // stays attached
-          if (cc.center_child != 0 && cc.rake_index_valid)
+          if (hot_[c].nbrs.size > 2) continue;  // stays attached
+          if (ch.center_child != 0 && cold_[cur].rake_index_valid)
             rake_index_remove(cur, c);
           remove_child(cur, c);
-          std::atomic_ref<uint32_t>(clusters_[c].parent)
+          std::atomic_ref<uint32_t>(hot_[c].parent)
               .store(0, std::memory_order_relaxed);
           rooted[g].push_back(c);
         }
@@ -287,7 +272,7 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
     // adjacency (grouped by survivor so each list has one owner).
     std::vector<std::pair<uint32_t, uint32_t>> cleanup;
     for (uint32_t d : newly_doomed) {
-      for (const Adj& a : clusters_[d].nbrs)
+      for (const Adj& a : nbrs(d))
         if (!doomed_[a.nbr]) cleanup.emplace_back(a.nbr, d);
     }
     if (!cleanup.empty()) {
@@ -310,13 +295,13 @@ void UfoTree::teardown_pass(std::vector<Token> toks) {
 }
 
 void UfoTree::force_detach(uint32_t c) {
-  uint32_t p = clusters_[c].parent;
+  uint32_t p = hot_[c].parent;
   assert(p != 0);
-  Cluster& pc = clusters_[p];
-  if (pc.center_child != 0 && pc.center_child != c && pc.rake_index_valid)
+  if (hot_[p].center_child != 0 && hot_[p].center_child != c &&
+      cold_[p].rake_index_valid)
     rake_index_remove(p, c);
   remove_child(p, c);
-  clusters_[c].parent = 0;
+  hot_[c].parent = 0;
   root_into_frontier(c);
   dirty_.push_back(p);
 }
@@ -337,22 +322,21 @@ void UfoTree::drain_revalidate() {
     auto lists = map(check.size(), [&](size_t i) {
       std::pair<std::vector<uint32_t>, std::vector<uint32_t>> out;
       uint32_t q = check[i];
-      const Cluster& qc = clusters_[q];
-      if (qc.parent == 0) return out;
-      if (qc.nbrs.size() >= 3) {
-        for (const Adj& a : qc.nbrs) {
-          const Cluster& wc = clusters_[a.nbr];
-          if (wc.nbrs.size() == 1 && wc.parent != 0 &&
-              wc.parent != qc.parent)
+      const Hot& qh = hot_[q];
+      if (qh.parent == 0) return out;
+      if (qh.nbrs.size >= 3) {
+        for (const Adj& a : nbrs(q)) {
+          const Hot& wh = hot_[a.nbr];
+          if (wh.nbrs.size == 1 && wh.parent != 0 && wh.parent != qh.parent)
             out.first.push_back(a.nbr);  // must be raked beside q
         }
-        const Cluster& pq = clusters_[qc.parent];
+        const Hot& pq = hot_[qh.parent];
         if (pq.center_child != 0 && pq.center_child != q)
           out.second.push_back(q);  // a rake must have degree 1
-      } else if (qc.nbrs.size() == 1) {
-        uint32_t z = qc.nbrs[0].nbr;
-        const Cluster& zc = clusters_[z];
-        if (zc.nbrs.size() >= 3 && zc.parent != 0 && zc.parent != qc.parent)
+      } else if (qh.nbrs.size == 1) {
+        uint32_t z = nbrs(q)[0].nbr;
+        const Hot& zh = hot_[z];
+        if (zh.nbrs.size >= 3 && zh.parent != 0 && zh.parent != qh.parent)
           out.first.push_back(q);  // must be raked beside z
       }
       return out;
@@ -365,13 +349,13 @@ void UfoTree::drain_revalidate() {
     if (walk_targets.empty() && forced.empty()) break;
     remove_duplicates(forced);
     for (uint32_t c : forced)
-      if (clusters_[c].parent != 0) force_detach(c);
+      if (hot_[c].parent != 0) force_detach(c);
     remove_duplicates(walk_targets);
     walk_targets = filter(walk_targets, [&](uint32_t c) {
-      return alive(c) && !doomed_[c] && clusters_[c].parent != 0;
+      return alive(c) && !doomed_[c] && hot_[c].parent != 0;
     });
     if (!walk_targets.empty()) {
-      claims_.begin_phase(clusters_.size());
+      claims_.begin_phase(pool_size());
       walk_targets = filter(
           walk_targets, [&](uint32_t y) { return claims_.claim(y, y); });
       std::vector<Token> toks(walk_targets.size());
@@ -425,17 +409,14 @@ void UfoTree::batch_update(const std::vector<Update>& batch) {
   }
   // 5. Refresh every surviving ancestor's aggregates bottom-up.
   flush_dirty();
-  // 6. Recycle the doomed clusters (concurrent reset, serial free-list
-  //    append at the phase boundary).
+  // 6. Recycle the doomed clusters: parallel record reset, then one serial
+  //    per-level slab splice at the phase boundary (core::recycle_clusters).
   {
     UFO_SPAN("par.recycle");
     UFO_STAT("par.recycled", doomed_list_.size());
-    parallel_for(0, doomed_list_.size(), [&](size_t i) {
-      uint32_t d = doomed_list_[i];
-      reset_cluster(d);
-      doomed_[d] = 0;
-    });
-    free_.insert(free_.end(), doomed_list_.begin(), doomed_list_.end());
+    parallel_for(0, doomed_list_.size(),
+                 [&](size_t i) { doomed_[doomed_list_[i]] = 0; });
+    recycle_clusters(doomed_list_);
     doomed_list_.clear();
   }
 }
@@ -461,15 +442,15 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
   ensure_scratch();
   remove_duplicates(raw);
   std::vector<uint32_t> active = filter(raw, [&](uint32_t c) {
-    return alive(c) && !doomed_[c] && clusters_[c].parent == 0 &&
-           clusters_[c].level == lvl;
+    return alive(c) && !doomed_[c] && hot_[c].parent == 0 &&
+           hot_[c].level == lvl;
   });
   // Everything entering a round gets fresh aggregates: shed survivors lost
   // a child, frontier leaves changed adjacency. Idempotent for new parents.
   parallel_for(0, active.size(),
                [&](size_t i) { recompute_aggregates(active[i]); });
   active = filter(active,
-                  [&](uint32_t c) { return !clusters_[c].nbrs.empty(); });
+                  [&](uint32_t c) { return hot_[c].nbrs.size != 0; });
   if (active.empty()) return;  // completed tree roots only
 
   // Phase 1: detach fixpoint. Two obligations against the surviving
@@ -488,19 +469,19 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
     auto lists = map(active.size(), [&](size_t i) {
       std::pair<std::vector<uint32_t>, std::vector<uint32_t>> out;
       uint32_t c = active[i];
-      if (clusters_[c].nbrs.size() >= 3) {
-        for (const Adj& a : clusters_[c].nbrs) {
+      if (hot_[c].nbrs.size >= 3) {
+        for (const Adj& a : nbrs(c)) {
           uint32_t y = a.nbr;
-          if (clusters_[y].parent != 0 && clusters_[y].nbrs.size() == 1)
+          if (hot_[y].parent != 0 && hot_[y].nbrs.size == 1)
             out.first.push_back(y);
         }
-      } else if (clusters_[c].nbrs.size() == 1) {
-        uint32_t y = clusters_[c].nbrs[0].nbr;
-        if (clusters_[y].parent != 0 && clusters_[y].nbrs.size() >= 3) {
-          const Cluster& pyc = clusters_[clusters_[y].parent];
+      } else if (hot_[c].nbrs.size == 1) {
+        uint32_t y = nbrs(c)[0].nbr;
+        if (hot_[y].parent != 0 && hot_[y].nbrs.size >= 3) {
+          const Hot& pyh = hot_[hot_[y].parent];
           bool can_center =
-              pyc.center_child == y ||
-              (pyc.center_child == 0 && pyc.children.size() == 1);
+              pyh.center_child == y ||
+              (pyh.center_child == 0 && pyh.children.size == 1);
           if (!can_center) out.second.push_back(y);
         }
       }
@@ -515,10 +496,9 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
     if (targets.empty() && forced.empty()) break;
     remove_duplicates(forced);
     for (uint32_t y : forced)
-      if (alive(y) && !doomed_[y] && clusters_[y].parent != 0)
-        force_detach(y);
+      if (alive(y) && !doomed_[y] && hot_[y].parent != 0) force_detach(y);
     if (!targets.empty()) {
-      claims_.begin_phase(clusters_.size());
+      claims_.begin_phase(pool_size());
       targets = filter(targets,
                        [&](uint32_t y) { return claims_.claim(y, y); });
       std::vector<Token> toks(targets.size());
@@ -534,18 +514,18 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
     }
     remove_duplicates(fresh);
     fresh = filter(fresh, [&](uint32_t c) {
-      return alive(c) && !doomed_[c] && clusters_[c].parent == 0 &&
-             clusters_[c].level == lvl;
+      return alive(c) && !doomed_[c] && hot_[c].parent == 0 &&
+             hot_[c].level == lvl;
     });
     parallel_for(0, fresh.size(),
                  [&](size_t i) { recompute_aggregates(fresh[i]); });
     fresh = filter(fresh,
-                   [&](uint32_t c) { return !clusters_[c].nbrs.empty(); });
+                   [&](uint32_t c) { return hot_[c].nbrs.size != 0; });
     if (fresh.empty()) break;  // targets were all shed without new roots
     active.insert(active.end(), fresh.begin(), fresh.end());
     remove_duplicates(active);
     active = filter(active, [&](uint32_t c) {
-      return clusters_[c].parent == 0 && !doomed_[c];
+      return hot_[c].parent == 0 && !doomed_[c];
     });
   }
 
@@ -556,7 +536,7 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
   parallel_for(0, m, [&](size_t i) { set_role(active[i], kFree); });
   parallel_for(0, m, [&](size_t i) {
     uint32_t c = active[i];
-    if (clusters_[c].nbrs.size() >= 3) set_role(c, kCenter);
+    if (hot_[c].nbrs.size >= 3) set_role(c, kCenter);
   });
   // Degree-1 clusters: rake under an active center, or rake-attach into a
   // surviving superunary whose center is their (attached) neighbor (the
@@ -567,16 +547,16 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
     auto lists = map(m, [&](size_t i) {
       std::pair<uint32_t, uint32_t> none{0, 0};
       uint32_t c = active[i];
-      if (clusters_[c].nbrs.size() != 1) return none;
-      uint32_t y = clusters_[c].nbrs[0].nbr;
+      if (hot_[c].nbrs.size != 1) return none;
+      uint32_t y = nbrs(c)[0].nbr;
       if (role_of(y) == kCenter) {
         set_role(c, kRaked);
         return none;
       }
-      if (role_of(y) == kNone && clusters_[y].parent != 0 &&
-          clusters_[y].nbrs.size() >= 3) {
+      if (role_of(y) == kNone && hot_[y].parent != 0 &&
+          hot_[y].nbrs.size >= 3) {
         set_role(c, kEngaged);
-        return std::pair<uint32_t, uint32_t>{clusters_[y].parent, c};
+        return std::pair<uint32_t, uint32_t>{hot_[y].parent, c};
       }
       return none;
     });
@@ -603,7 +583,7 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
       uint32_t c = matchable[i];
       uint32_t best = 0;
       uint64_t besth = 0;
-      for (const Adj& a : clusters_[c].nbrs) {
+      for (const Adj& a : nbrs(c)) {
         uint32_t d = a.nbr;
         if (role_of(d) != kFree) continue;
         uint64_t h = rank(d);
@@ -648,25 +628,25 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
     parallel_for(0, egroups.size(), [&](size_t g) {
       auto [begin, end] = egroups[g];
       uint32_t py = engaged[begin].first;
-      Cluster& pyc = clusters_[py];
-      uint32_t y = clusters_[engaged[begin].second].nbrs[0].nbr;
-      if (pyc.center_child == 0) {
+      Hot& pyh = hot_[py];
+      uint32_t y = nbrs(engaged[begin].second)[0].nbr;
+      if (pyh.center_child == 0) {
         // A fanout-1 extension of y gains its first rakes: it becomes a
         // high-degree merge centered on y (y kept degree >= 3, so its
         // boundary is already the single center vertex).
-        assert(pyc.children.size() == 1 && pyc.children[0] == y);
-        pyc.center_child = y;
+        assert(pyh.children.size == 1 && children(py)[0] == y);
+        pyh.center_child = y;
         rake_index_clear(py);
-        pyc.rake_index_valid = true;
+        cold_[py].rake_index_valid = true;
       }
-      assert(pyc.center_child == y && "rake-attach target must center y");
+      assert(pyh.center_child == y && "rake-attach target must center y");
       std::vector<uint32_t> newly(end - begin);
       for (size_t i = begin; i < end; ++i) {
         newly[i - begin] = engaged[i].second;
         add_child(py, engaged[i].second);
       }
-      if (pyc.rake_index_valid) rake_index_bulk_add(py, newly);
-      if (pyc.parent == 0) target_rooted[g] = 1;
+      if (cold_[py].rake_index_valid) rake_index_bulk_add(py, newly);
+      if (pyh.parent == 0) target_rooted[g] = 1;
     });
     for (size_t g = 0; g < egroups.size(); ++g) {
       uint32_t py = engaged[egroups[g].first].first;
@@ -690,9 +670,9 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
     uint32_t p = parents[i];
     if (i < nc) {
       uint32_t c = centers[i];
-      clusters_[p].center_child = c;
+      hot_[p].center_child = c;
       add_child(p, c);
-      for (const Adj& a : clusters_[c].nbrs)
+      for (const Adj& a : nbrs(c))
         if (role_of(a.nbr) == kRaked) add_child(p, a.nbr);
     } else if (i < nc + np) {
       uint32_t c = pairs[i - nc];
@@ -701,9 +681,9 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
       assert(a != nullptr);
       add_child(p, c);
       add_child(p, d);
-      clusters_[p].merge_u = a->my_end;
-      clusters_[p].merge_v = a->other_end;
-      clusters_[p].merge_w = a->w;
+      hot_[p].merge_u = a->my_end;
+      hot_[p].merge_v = a->other_end;
+      hot_[p].merge_w = a->w;
     } else {
       add_child(p, singles[i - nc - np]);
     }
@@ -717,18 +697,16 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
   std::vector<std::vector<std::pair<uint32_t, Adj>>> recip(parents.size());
   parallel_for(0, parents.size(), [&](size_t i) {
     uint32_t p = parents[i];
-    Cluster& pc = clusters_[p];
-    for (uint32_t c : pc.children) {
-      for (const Adj& a : clusters_[c].nbrs) {
-        uint32_t q = clusters_[a.nbr].parent;
+    for (uint32_t c : children(p)) {
+      for (const Adj& a : nbrs(c)) {
+        uint32_t q = hot_[a.nbr].parent;
         assert(q != 0 && "neighbor must have been reclustered");
         if (q == p) continue;  // merge or rake edge: now internal
         assert(!adj_contains(p, q) &&
                "duplicate projected edge: cycle in the batch?");
-        pc.nbrs.push_back({q, a.my_end, a.other_end, a.w});
+        nbrs_push(p, {q, a.my_end, a.other_end, a.w});
         if (role_of(q) != kFresh)
-          recip[i].emplace_back(
-              q, Adj{p, a.other_end, a.my_end, a.w});
+          recip[i].emplace_back(q, Adj{p, a.other_end, a.my_end, a.w});
       }
     }
   });
@@ -741,7 +719,7 @@ void UfoTree::contract_round(int32_t lvl, std::vector<uint32_t> raw) {
       uint32_t q = flat[begin].first;
       for (size_t i = begin; i < end; ++i) {
         assert(!adj_contains(q, flat[i].second.nbr));
-        clusters_[q].nbrs.push_back(flat[i].second);
+        nbrs_push(q, flat[i].second);
       }
     });
     for (const auto& [begin, end] : rgroups) {
@@ -776,7 +754,7 @@ void UfoTree::flush_dirty() {
   std::vector<std::vector<uint32_t>> buckets;
   for (uint32_t c : all) {
     if (!alive(c) || doomed_[c]) continue;
-    size_t lvl = static_cast<size_t>(clusters_[c].level);
+    size_t lvl = static_cast<size_t>(hot_[c].level);
     if (buckets.size() <= lvl) buckets.resize(lvl + 1);
     buckets[lvl].push_back(c);
   }
@@ -785,7 +763,7 @@ void UfoTree::flush_dirty() {
     remove_duplicates(items);
     items = filter(items, [&](uint32_t c) {
       return alive(c) && !doomed_[c] &&
-             clusters_[c].level == static_cast<int32_t>(l);
+             hot_[c].level == static_cast<int32_t>(l);
     });
     if (items.empty()) continue;
     UFO_STAT("par.flush.clusters", items.size());
@@ -793,13 +771,12 @@ void UfoTree::flush_dirty() {
                  [&](size_t i) { recompute_aggregates(items[i]); });
     std::vector<std::pair<uint32_t, uint32_t>> stale;  // (parent, rake)
     for (uint32_t c : items) {
-      uint32_t p = clusters_[c].parent;
+      uint32_t p = hot_[c].parent;
       if (p == 0 || doomed_[p]) continue;
       if (buckets.size() <= l + 1) buckets.resize(l + 2);
       buckets[l + 1].push_back(p);
-      const Cluster& pc = clusters_[p];
-      if (pc.center_child != 0 && pc.center_child != c &&
-          pc.rake_index_valid)
+      if (hot_[p].center_child != 0 && hot_[p].center_child != c &&
+          cold_[p].rake_index_valid)
         stale.emplace_back(p, c);
     }
     if (!stale.empty()) {

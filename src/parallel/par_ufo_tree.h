@@ -103,8 +103,6 @@ class UfoTree : public core::UfoCore {
   void set_role(uint32_t c, uint8_t role);
   uint8_t role_of(uint32_t c) const;
 
-  // Remove the sorted `targets` from c's adjacency in one compaction pass.
-  void adj_remove_batch(uint32_t c, const std::vector<uint32_t>& targets);
   // Apply the batch's edge updates at every level of the endpoint chains
   // (deletions walk the intact pre-teardown chains; insertions the
   // surviving post-teardown chains). Ops are grouped per cluster so all

@@ -1,7 +1,7 @@
 // Sequential UFO tree updates: Algorithm 1 (DeleteAncestors with the
 // high-degree / high-fanout survival guard), Algorithm 2 (update with
 // high-degree reclustering), multi-level edge walks, and the
-// shared-reclustering batch variant. The cluster pool, aggregate
+// shared-reclustering batch variant. The cluster pools, aggregate
 // maintenance, and queries live in core::UfoCore (src/core/ufo_core.cc).
 #include "seq/ufo_tree.h"
 
@@ -26,8 +26,8 @@ bool trace_enabled() { return std::getenv("UFO_TRACE") != nullptr; }
 UfoTree::UfoTree(size_t n) : core::UfoCore(n) { roots_.resize(1); }
 
 void UfoTree::add_root(uint32_t c) {
-  UFO_TRACE("  add_root %u (lvl %d)\n", c, clusters_[c].level);
-  size_t lvl = static_cast<size_t>(clusters_[c].level);
+  UFO_TRACE("  add_root %u (lvl %d)\n", c, hot_[c].level);
+  size_t lvl = static_cast<size_t>(hot_[c].level);
   if (roots_.size() <= lvl) roots_.resize(lvl + 1);
   roots_[lvl].push_back(c);
 }
@@ -41,59 +41,56 @@ void UfoTree::mark_dirty(uint32_t c) { dirty_.push_back(c); }
 void UfoTree::delete_ancestors(uint32_t c) {
   uint32_t prev = c;
   bool prev_deleted = false;
-  uint32_t cur = clusters_[c].parent;
+  uint32_t cur = hot_[c].parent;
   if (cur == 0) {
     add_root(c);
     return;
   }
   while (cur != 0) {
-    uint32_t next = clusters_[cur].parent;
-    bool deletable =
-        clusters_[cur].nbrs.size() < 3 && clusters_[cur].children.size() < 3;
+    uint32_t next = hot_[cur].parent;
+    bool deletable = hot_[cur].nbrs.size < 3 && hot_[cur].children.size < 3;
     // A high-degree merge whose center is being removed (deleted below cur,
     // or about to be stripped as a low-degree child) is no longer a valid
     // merge: delete cur outright, rooting all its children. Its degree is
     // bounded by the former center's (< 3), so this preserves the update
     // cost bound.
-    if (!deletable && clusters_[cur].center_child == prev &&
-        clusters_[cur].center_child != 0 &&
+    if (!deletable && hot_[cur].center_child == prev &&
+        hot_[cur].center_child != 0 &&
         (prev_deleted ||
-         (clusters_[prev].parent == cur && clusters_[prev].nbrs.size() <= 2)))
+         (hot_[prev].parent == cur && hot_[prev].nbrs.size <= 2)))
       deletable = true;
     if (deletable) {
-      for (const Adj& a : clusters_[cur].nbrs) adj_remove(a.nbr, cur);
-      for (uint32_t ch : clusters_[cur].children) {
-        clusters_[ch].parent = 0;
+      for (const Adj& a : nbrs(cur)) adj_remove(a.nbr, cur);
+      for (uint32_t ch : children(cur)) {
+        hot_[ch].parent = 0;
         add_root(ch);
       }
       if (next != 0) {
-        if (clusters_[next].center_child != 0 &&
-            clusters_[next].center_child != cur &&
-            clusters_[next].rake_index_valid)
+        if (hot_[next].center_child != 0 && hot_[next].center_child != cur &&
+            cold_[next].rake_index_valid)
           rake_index_remove(next, cur);
         remove_child(next, cur);
         // If next survives the walk its contents shrank; refresh later.
         mark_dirty(next);
       }
       UFO_TRACE("  delete cluster %u (lvl %d) parent %u\n", cur,
-                clusters_[cur].level, next);
+                hot_[cur].level, next);
       UFO_STAT("seq.teardown.deleted", 1);
       free_cluster(cur);
-    } else if (!prev_deleted && clusters_[prev].nbrs.size() <= 2 &&
-               clusters_[prev].parent == cur) {
+    } else if (!prev_deleted && hot_[prev].nbrs.size <= 2 &&
+               hot_[prev].parent == cur) {
       // Disconnect the low-degree child from its surviving parent; the
       // parent's contents shrink, so its chain needs aggregate refreshes.
-      if (clusters_[cur].center_child != 0 &&
-          clusters_[cur].center_child != prev &&
-          clusters_[cur].rake_index_valid)
+      if (hot_[cur].center_child != 0 && hot_[cur].center_child != prev &&
+          cold_[cur].rake_index_valid)
         rake_index_remove(cur, prev);
       remove_child(cur, prev);
-      clusters_[prev].parent = 0;
+      hot_[prev].parent = 0;
       add_root(prev);
       mark_dirty(cur);
       UFO_STAT("seq.teardown.shed", 1);
       UFO_TRACE("  disconnect %u (lvl %d) from survivor %u\n", prev,
-                clusters_[prev].level, cur);
+                hot_[prev].level, cur);
     }
     prev = cur;
     prev_deleted = deletable;
@@ -102,23 +99,23 @@ void UfoTree::delete_ancestors(uint32_t c) {
 }
 
 void UfoTree::delete_ancestors_all(uint32_t c) {
-  uint32_t cur = clusters_[c].parent;
+  uint32_t cur = hot_[c].parent;
   if (cur == 0) {
     add_root(c);
     return;
   }
   while (cur != 0) {
-    uint32_t next = clusters_[cur].parent;
-    for (const Adj& a : clusters_[cur].nbrs) adj_remove(a.nbr, cur);
-    for (uint32_t ch : clusters_[cur].children) {
-      clusters_[ch].parent = 0;
+    uint32_t next = hot_[cur].parent;
+    for (const Adj& a : nbrs(cur)) adj_remove(a.nbr, cur);
+    for (uint32_t ch : children(cur)) {
+      hot_[ch].parent = 0;
       add_root(ch);
     }
     if (next != 0) {
       remove_child(next, cur);
       mark_dirty(next);
     }
-    UFO_TRACE("  delete-all cluster %u (lvl %d)\n", cur, clusters_[cur].level);
+    UFO_TRACE("  delete-all cluster %u (lvl %d)\n", cur, hot_[cur].level);
     UFO_STAT("seq.teardown.deleted", 1);
     free_cluster(cur);
     cur = next;
@@ -126,26 +123,26 @@ void UfoTree::delete_ancestors_all(uint32_t c) {
 }
 
 void UfoTree::dissolve(uint32_t c) {
-  UFO_TRACE("  dissolve cluster %u (lvl %d)\n", c, clusters_[c].level);
-  for (const Adj& a : clusters_[c].nbrs) {
+  UFO_TRACE("  dissolve cluster %u (lvl %d)\n", c, hot_[c].level);
+  for (const Adj& a : nbrs(c)) {
     adj_remove(a.nbr, c);
     mark_dirty(a.nbr);
   }
-  for (uint32_t ch : clusters_[c].children) {
-    clusters_[ch].parent = 0;
+  for (uint32_t ch : children(c)) {
+    hot_[ch].parent = 0;
     add_root(ch);
   }
   free_cluster(c);
 }
 
 void UfoTree::repair(uint32_t c) {
-  if (!alive(c) || clusters_[c].children.empty()) return;  // leaves are safe
-  const Cluster& cc = clusters_[c];
+  if (!alive(c) || hot_[c].children.size == 0) return;  // leaves are safe
+  core::Span<const Adj> cn = nbrs(c);
   // Own boundary invariant: <= 2 distinct boundary vertices, and exactly 1
   // when degree >= 3.
   Vertex b0 = kNoVertex, b1 = kNoVertex;
   bool own_bad = false;
-  for (const Adj& a : cc.nbrs) {
+  for (const Adj& a : cn) {
     if (b0 == kNoVertex || b0 == a.my_end) {
       b0 = a.my_end;
     } else if (b1 == kNoVertex || b1 == a.my_end) {
@@ -154,23 +151,23 @@ void UfoTree::repair(uint32_t c) {
       own_bad = true;
     }
   }
-  if (cc.nbrs.size() >= 3 && b1 != kNoVertex) own_bad = true;
+  if (cn.size() >= 3 && b1 != kNoVertex) own_bad = true;
   if (own_bad) {
     UFO_TRACE("  repair: cluster %u own boundary invalid\n", c);
     delete_ancestors_all(c);
     dissolve(c);
     return;
   }
-  uint32_t p = clusters_[c].parent;
+  uint32_t p = hot_[c].parent;
   if (p == 0) return;
-  const Cluster& pc = clusters_[p];
+  const Hot& ph = hot_[p];
   bool role_bad = false;
-  if (pc.center_child != 0 && pc.center_child != c) {
+  if (ph.center_child != 0 && ph.center_child != c) {
     // c is a rake: must keep exactly one edge, to the center.
-    role_bad =
-        cc.nbrs.size() != 1 || cc.nbrs[0].nbr != pc.center_child;
-  } else if (pc.center_child == 0 && pc.children.size() == 2) {
-    uint32_t sib = pc.children[0] == c ? pc.children[1] : pc.children[0];
+    role_bad = cn.size() != 1 || cn[0].nbr != ph.center_child;
+  } else if (ph.center_child == 0 && ph.children.size == 2) {
+    core::Span<const uint32_t> kids = children(p);
+    uint32_t sib = kids[0] == c ? kids[1] : kids[0];
     role_bad = !adj_contains(c, sib);  // pair's merge edge must persist
   }
   if (role_bad) {
@@ -189,8 +186,8 @@ void UfoTree::edge_walk(Vertex u, Vertex v, Weight w, bool insert) {
     UFO_OBS_ONLY(++levels;)
     if (insert) {
       assert(!adj_contains(a, b));
-      clusters_[a].nbrs.push_back({b, u, v, w});
-      clusters_[b].nbrs.push_back({a, v, u, w});
+      nbrs_push(a, {b, u, v, w});
+      nbrs_push(b, {a, v, u, w});
     } else {
       assert(adj_contains(a, b));
       adj_remove(a, b);
@@ -203,8 +200,8 @@ void UfoTree::edge_walk(Vertex u, Vertex v, Weight w, bool insert) {
     recompute_aggregates(b);
     mark_dirty(a);  // ancestors above the walk still need refreshing
     mark_dirty(b);
-    a = clusters_[a].parent;
-    b = clusters_[b].parent;
+    a = hot_[a].parent;
+    b = hot_[b].parent;
   }
   UFO_STAT_HIST("seq.edge_walk.levels", levels);
 }
@@ -219,13 +216,13 @@ void UfoTree::link(Vertex u, Vertex v, Weight w) {
   // vertex and are refreshed at flush_dirty().
   refresh_leaf(leaf_id(u));
   refresh_leaf(leaf_id(v));
-  for (uint32_t c = clusters_[leaf_id(u)].parent; c != 0;) {
-    uint32_t up = clusters_[c].parent;
+  for (uint32_t c = hot_[leaf_id(u)].parent; c != 0;) {
+    uint32_t up = hot_[c].parent;
     repair(c);
     c = up;
   }
-  for (uint32_t c = clusters_[leaf_id(v)].parent; c != 0;) {
-    uint32_t up = clusters_[c].parent;
+  for (uint32_t c = hot_[leaf_id(v)].parent; c != 0;) {
+    uint32_t up = hot_[c].parent;
     repair(c);
     c = up;
   }
@@ -250,13 +247,13 @@ void UfoTree::cut(Vertex u, Vertex v) {
   delete_ancestors(leaf_id(v));
   refresh_leaf(leaf_id(u));
   refresh_leaf(leaf_id(v));
-  for (uint32_t c = clusters_[leaf_id(u)].parent; c != 0;) {
-    uint32_t up = clusters_[c].parent;
+  for (uint32_t c = hot_[leaf_id(u)].parent; c != 0;) {
+    uint32_t up = hot_[c].parent;
     repair(c);
     c = up;
   }
-  for (uint32_t c = clusters_[leaf_id(v)].parent; c != 0;) {
-    uint32_t up = clusters_[c].parent;
+  for (uint32_t c = hot_[leaf_id(v)].parent; c != 0;) {
+    uint32_t up = hot_[c].parent;
     repair(c);
     c = up;
   }
@@ -292,8 +289,8 @@ void UfoTree::batch_update(const std::vector<Update>& batch) {
   // Phase 4: refresh leaves, repair drifted merges, root the chain tops.
   for (Vertex v : endpoints) refresh_leaf(leaf_id(v));
   for (Vertex v : endpoints) {
-    for (uint32_t c = clusters_[leaf_id(v)].parent; c != 0;) {
-      uint32_t up = clusters_[c].parent;
+    for (uint32_t c = hot_[leaf_id(v)].parent; c != 0;) {
+      uint32_t up = hot_[c].parent;
       repair(c);
       c = up;
     }
@@ -336,28 +333,28 @@ void UfoTree::recluster() {
     std::sort(batch.begin(), batch.end());
     batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
     auto is_root = [&](uint32_t x) {
-      return clusters_[x].level == static_cast<int32_t>(lvl) &&
-             clusters_[x].parent == 0;
+      return hot_[x].level == static_cast<int32_t>(lvl) &&
+             hot_[x].parent == 0;
     };
     auto merges = [&](uint32_t y) {
-      uint32_t py = clusters_[y].parent;
-      return py != 0 && clusters_[py].children.size() >= 2;
+      uint32_t py = hot_[y].parent;
+      return py != 0 && hot_[py].children.size >= 2;
     };
 
     // Phase A: high-degree root clusters rake in all degree-1 neighbors.
     for (uint32_t x : batch) {
-      if (!is_root(x) || clusters_[x].nbrs.size() < 3) continue;
+      if (!is_root(x) || hot_[x].nbrs.size < 3) continue;
       uint32_t p = alloc_cluster(static_cast<int32_t>(lvl) + 1);
-      clusters_[p].center_child = x;
+      hot_[p].center_child = x;
       add_child(p, x);
       add_root(p);
       changed.push_back(p);
-      UFO_TRACE("  phaseA new center parent %u over %u (deg %zu)\n", p, x,
-                clusters_[x].nbrs.size());
-      for (const Adj& a : clusters_[x].nbrs) {
+      UFO_TRACE("  phaseA new center parent %u over %u (deg %u)\n", p, x,
+                hot_[x].nbrs.size);
+      for (const Adj& a : nbrs(x)) {
         uint32_t y = a.nbr;
-        if (clusters_[y].nbrs.size() != 1) continue;
-        if (clusters_[y].parent != 0) delete_ancestors(y);
+        if (hot_[y].nbrs.size != 1) continue;
+        if (hot_[y].parent != 0) delete_ancestors(y);
         add_child(p, y);
       }
     }
@@ -365,32 +362,32 @@ void UfoTree::recluster() {
     // Phase B: remaining degree 1 and 2 root clusters.
     for (uint32_t x : batch) {
       if (!is_root(x)) continue;
-      Cluster& xc = clusters_[x];
-      size_t d = xc.nbrs.size();
+      core::Span<const Adj> xn = nbrs(x);  // slab storage: stable across allocs
+      size_t d = xn.size();
       if (d == 0) continue;  // completed tree root
       bool merged = false;
       if (d == 2) {
-        for (const Adj& a : xc.nbrs) {
+        for (const Adj& a : xn) {
           uint32_t y = a.nbr;
-          if (clusters_[y].nbrs.size() > 2 || merges(y)) continue;
-          if (clusters_[y].parent != 0) {
-            uint32_t py = clusters_[y].parent;  // fanout-1 extension of y
-            delete_ancestors(py);               // detaches py (low degree)
-            assert(clusters_[py].parent == 0);
+          if (hot_[y].nbrs.size > 2 || merges(y)) continue;
+          if (hot_[y].parent != 0) {
+            uint32_t py = hot_[y].parent;  // fanout-1 extension of y
+            delete_ancestors(py);          // detaches py (low degree)
+            assert(hot_[py].parent == 0);
             add_child(py, x);
-            clusters_[py].center_child = 0;  // becomes a plain pair merge
-            clusters_[py].rake_index_valid = false;
-            clusters_[py].merge_u = a.other_end;  // inside y = children[0]
-            clusters_[py].merge_v = a.my_end;
-            clusters_[py].merge_w = a.w;
+            hot_[py].center_child = 0;  // becomes a plain pair merge
+            cold_[py].rake_index_valid = false;
+            hot_[py].merge_u = a.other_end;  // inside y = children[0]
+            hot_[py].merge_v = a.my_end;
+            hot_[py].merge_w = a.w;
             changed.push_back(py);
           } else {
             uint32_t p = alloc_cluster(static_cast<int32_t>(lvl) + 1);
             add_child(p, x);
             add_child(p, y);
-            clusters_[p].merge_u = a.my_end;
-            clusters_[p].merge_v = a.other_end;
-            clusters_[p].merge_w = a.w;
+            hot_[p].merge_u = a.my_end;
+            hot_[p].merge_v = a.other_end;
+            hot_[p].merge_w = a.w;
             add_root(p);
             changed.push_back(p);
             UFO_TRACE("  d2 new pair %u = {%u,%u} merge (%u,%u)\n", p, x, y,
@@ -400,25 +397,25 @@ void UfoTree::recluster() {
           break;
         }
       } else if (d == 1) {
-        const Adj a = xc.nbrs[0];
+        const Adj a = xn[0];
         uint32_t y = a.nbr;
-        size_t dy = clusters_[y].nbrs.size();
-        if (clusters_[y].parent != 0 && !merges(y)) {
-          uint32_t py = clusters_[y].parent;
+        size_t dy = hot_[y].nbrs.size;
+        if (hot_[y].parent != 0 && !merges(y)) {
+          uint32_t py = hot_[y].parent;
           UFO_TRACE("  d1 attach x=%u into py=%u (y=%u ydeg %zu)\n", x, py,
                     y, dy);
           delete_ancestors(py);
           add_child(py, x);
-          clusters_[py].rake_index_valid = false;  // merge shape changed
+          cold_[py].rake_index_valid = false;  // merge shape changed
           if (dy >= 3) {
-            clusters_[py].center_child = y;  // becomes a high-degree merge
+            hot_[py].center_child = y;  // becomes a high-degree merge
           } else {
-            clusters_[py].center_child = 0;  // becomes a plain pair merge
-            clusters_[py].merge_u = a.other_end;
-            clusters_[py].merge_v = a.my_end;
-            clusters_[py].merge_w = a.w;
+            hot_[py].center_child = 0;  // becomes a plain pair merge
+            hot_[py].merge_u = a.other_end;
+            hot_[py].merge_v = a.my_end;
+            hot_[py].merge_w = a.w;
           }
-          if (clusters_[py].parent == 0) {
+          if (hot_[py].parent == 0) {
             changed.push_back(py);  // rooted by delete_ancestors
           } else {
             // py kept its high-degree attachment; x's single edge is
@@ -427,31 +424,31 @@ void UfoTree::recluster() {
             mark_dirty(py);
           }
           merged = true;
-        } else if (clusters_[y].parent != 0 && dy >= 3) {
+        } else if (hot_[y].parent != 0 && dy >= 3) {
           // y is the center of an existing high-degree merge: rake x on.
-          uint32_t py = clusters_[y].parent;
-          assert(clusters_[py].center_child == y);
+          uint32_t py = hot_[y].parent;
+          assert(hot_[py].center_child == y);
           delete_ancestors(py);  // may or may not detach py
           add_child(py, x);
-          if (clusters_[py].rake_index_valid) rake_index_add(py, x);
+          if (cold_[py].rake_index_valid) rake_index_add(py, x);
           UFO_TRACE("  rake-attach %u onto %s py=%u\n", x,
-                    clusters_[py].parent == 0 ? "rooted" : "attached", py);
-          if (clusters_[py].parent == 0) {
+                    hot_[py].parent == 0 ? "rooted" : "attached", py);
+          if (hot_[py].parent == 0) {
             agg_only.push_back(py);  // a rake's edge is internal: the
             add_root(py);            // parent's adjacency is unchanged
           } else {
             mark_dirty(py);  // attached chain gains x's content
           }
           merged = true;
-        } else if (clusters_[y].parent == 0) {
+        } else if (hot_[y].parent == 0) {
           UFO_TRACE("  d1 new pair over {%u,%u} ydeg %zu\n", x, y, dy);
           assert(dy <= 2 && "phase A handles high-degree roots");
           uint32_t p = alloc_cluster(static_cast<int32_t>(lvl) + 1);
           add_child(p, x);
           add_child(p, y);
-          clusters_[p].merge_u = a.my_end;
-          clusters_[p].merge_v = a.other_end;
-          clusters_[p].merge_w = a.w;
+          hot_[p].merge_u = a.my_end;
+          hot_[p].merge_v = a.other_end;
+          hot_[p].merge_w = a.w;
           add_root(p);
           changed.push_back(p);
           merged = true;
@@ -484,7 +481,7 @@ void UfoTree::recluster() {
     for (uint32_t q : touched) {
       // A parentless touched cluster (e.g. a completed tree root that just
       // gained a propagated edge) must recluster at its own level.
-      if (alive(q) && clusters_[q].parent == 0) add_root(q);
+      if (alive(q) && hot_[q].parent == 0) add_root(q);
       changed.push_back(q);
     }
     for (uint32_t q : agg_only) changed.push_back(q);
@@ -493,8 +490,8 @@ void UfoTree::recluster() {
     UFO_STAT("seq.recluster.changed", changed.size());
     for (uint32_t p : changed) {
       if (alive(p)) {
-        UFO_TRACE("  recompute changed %u (lvl %d, fanout %zu)\n", p,
-                  clusters_[p].level, clusters_[p].children.size());
+        UFO_TRACE("  recompute changed %u (lvl %d, fanout %u)\n", p,
+                  hot_[p].level, hot_[p].children.size);
         recompute_aggregates(p);
         mark_dirty(p);
       }
@@ -512,29 +509,27 @@ void UfoTree::recluster() {
 }
 
 void UfoTree::rebuild_adjacency(uint32_t p, std::vector<uint32_t>* touched) {
-  Cluster& pc = clusters_[p];
-  for (const Adj& a : pc.nbrs) {
+  for (const Adj& a : nbrs(p)) {
     adj_remove(a.nbr, p);
     touched->push_back(a.nbr);  // its boundary set may have shrunk
   }
-  pc.nbrs.clear();
-  for (uint32_t c : pc.children) {
-    for (const Adj& a : clusters_[c].nbrs) {
-      uint32_t q = clusters_[a.nbr].parent;
+  nbrs_clear(p);
+  for (uint32_t c : children(p)) {
+    for (const Adj& a : nbrs(c)) {
+      uint32_t q = hot_[a.nbr].parent;
 #ifndef NDEBUG
       if (q == 0)
         std::fprintf(stderr,
                      "rebuild %u (lvl %d): child %u neighbor %u (lvl %d, "
-                     "deg %zu) has no parent\n",
-                     p, pc.level, c, a.nbr, clusters_[a.nbr].level,
-                     clusters_[a.nbr].nbrs.size());
+                     "deg %u) has no parent\n",
+                     p, hot_[p].level, c, a.nbr, hot_[a.nbr].level,
+                     hot_[a.nbr].nbrs.size);
 #endif
       assert(q != 0 && "neighbor must have been reclustered");
       if (q == p) continue;
-      if (!adj_contains(p, q))
-        pc.nbrs.push_back({q, a.my_end, a.other_end, a.w});
+      if (!adj_contains(p, q)) nbrs_push(p, {q, a.my_end, a.other_end, a.w});
       if (!adj_contains(q, p)) {
-        clusters_[q].nbrs.push_back({p, a.other_end, a.my_end, a.w});
+        nbrs_push(q, {p, a.other_end, a.my_end, a.w});
         touched->push_back(q);  // may have gained a boundary vertex
       }
     }
@@ -544,11 +539,11 @@ void UfoTree::rebuild_adjacency(uint32_t p, std::vector<uint32_t>* touched) {
 void UfoTree::flush_dirty() {
   if (dirty_.empty()) return;
   std::sort(dirty_.begin(), dirty_.end(), [&](uint32_t a, uint32_t b) {
-    return clusters_[a].level < clusters_[b].level;
+    return hot_[a].level < hot_[b].level;
   });
   for (uint32_t c : dirty_) {
     if (!alive(c)) continue;
-    UFO_TRACE("  flush dirty %u (lvl %d)\n", c, clusters_[c].level);
+    UFO_TRACE("  flush dirty %u (lvl %d)\n", c, hot_[c].level);
     recompute_chain(c);
   }
   dirty_.clear();

@@ -1,0 +1,130 @@
+// Tests for the per-cluster adjacency hash index (ROADMAP: "adjacency index
+// for high-degree clusters"). Clusters whose pooled adjacency list reaches
+// kAdjIdxThreshold entries get an open-addressing position index so point
+// lookups and k-edge delete batches against a hub cost O(1)/O(k) instead of
+// a degree-long scan. The index is invisible in the API — these tests drive
+// star-shaped inputs through both backends and rely on check_valid(), which
+// cross-checks every indexed entry against a linear scan, plus differential
+// has_edge / connectivity queries across build, batch delete, hysteresis
+// (drop below threshold/2), and rebuild.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "parallel/par_ufo_tree.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo {
+namespace {
+
+// The hub leaf of a 1000-vertex star holds 999 adjacency entries — well
+// above the build threshold — so the index pool must be materialized.
+TEST(AdjacencyIndex, StarHubMaterializesIndexPool) {
+  size_t n = 1000;
+  seq::UfoTree t(n);
+  for (const Edge& e : gen::star(n)) t.link(e.u, e.v, e.w);
+  ASSERT_TRUE(t.check_valid());
+  EXPECT_GT(t.memory_breakdown().adj_index, 0u);
+  auto br = t.memory_breakdown();
+  EXPECT_EQ(br.total(), t.memory_bytes());
+}
+
+// Point lookups against the hub during incremental edge churn: every
+// has_edge answer is checked against an oracle while the hub's degree
+// crosses the build threshold upward and the drop threshold downward.
+TEST(AdjacencyIndex, HubLookupsSurviveBuildAndDropHysteresis) {
+  size_t n = 200;  // hub degree sweeps 0..199: crosses 64 up and 32 down
+  seq::UfoTree t(n);
+  std::set<std::pair<Vertex, Vertex>> present;
+  auto check_all = [&]() {
+    for (Vertex v = 1; v < static_cast<Vertex>(n); ++v) {
+      bool want = present.count({0, v}) != 0;
+      EXPECT_EQ(t.has_edge(0, v), want) << "v=" << v;
+      EXPECT_EQ(t.connected(0, v), want) << "v=" << v;
+    }
+  };
+  for (Vertex v = 1; v < static_cast<Vertex>(n); ++v) {
+    t.link(0, v, 1);
+    present.insert({0, v});
+    if (v % 37 == 0) check_all();
+  }
+  ASSERT_TRUE(t.check_valid());
+  check_all();
+  // Tear the hub back down in a scrambled order so deletions hit the
+  // index path (degree >= 64), the hysteresis band, and the plain scans.
+  std::vector<uint32_t> order = util::random_permutation(n - 1, 0xd00d);
+  for (size_t i = 0; i < order.size(); ++i) {
+    Vertex v = static_cast<Vertex>(order[i] + 1);
+    t.cut(0, v);
+    present.erase({0, v});
+    if (i % 41 == 0) {
+      check_all();
+      ASSERT_TRUE(t.check_valid()) << "after " << i << " cuts";
+    }
+  }
+  ASSERT_TRUE(t.check_valid());
+  ASSERT_TRUE(t.check_aggregates());
+}
+
+// The satellite's target cost model: a k-edge delete batch against the hub
+// runs through adj_remove_batch's index path (O(k) lookups + one swap-fill
+// per removal) instead of a compaction scan per round. Correctness here;
+// the wall-clock row lives in BENCH.md's star teardown table.
+TEST(AdjacencyIndex, ParBatchCutAgainstHubMatchesOracle) {
+  size_t n = 2000;
+  par::UfoTree t(n);
+  EdgeList edges = gen::star(n);
+  t.batch_link(edges);
+  ASSERT_TRUE(t.check_valid());
+  ASSERT_TRUE(t.check_aggregates());
+
+  util::SplitMix64 rng(42);
+  std::vector<Edge> all(edges.begin(), edges.end());
+  for (int round = 0; round < 4; ++round) {
+    // Cut a random half of the star, verify, relink, verify.
+    std::vector<Edge> half;
+    for (const Edge& e : all)
+      if (rng.next() % 2 == 0) half.push_back(e);
+    t.batch_cut(half);
+    std::set<Vertex> severed;
+    for (const Edge& e : half) severed.insert(e.v);
+    for (Vertex v = 1; v < static_cast<Vertex>(n); v += 7) {
+      EXPECT_EQ(t.has_edge(0, v), severed.count(v) == 0) << v;
+      EXPECT_EQ(t.connected(0, v), severed.count(v) == 0) << v;
+    }
+    ASSERT_TRUE(t.check_valid()) << "round " << round;
+    t.batch_link(half);
+    for (Vertex v = 1; v < static_cast<Vertex>(n); v += 7)
+      EXPECT_TRUE(t.connected(0, v)) << v;
+    ASSERT_TRUE(t.check_valid()) << "round " << round;
+    ASSERT_TRUE(t.check_aggregates()) << "round " << round;
+  }
+}
+
+// Dandelion: hub plus a path tail. The hub's index must stay consistent
+// while non-hub churn rebuilds the surrounding hierarchy (the index is
+// per-cluster state that survives recluster rounds the hub isn't part of).
+TEST(AdjacencyIndex, IndexSurvivesUnrelatedChurn) {
+  size_t n = 400;
+  seq::UfoTree t(n);
+  for (const Edge& e : gen::dandelion(n)) t.link(e.u, e.v, e.w);
+  ASSERT_TRUE(t.check_valid());
+  // Flap a tail edge far from the hub many times; the hub's adjacency is
+  // untouched but its ancestors recluster.
+  Vertex a = static_cast<Vertex>(n - 2), b = static_cast<Vertex>(n - 1);
+  ASSERT_TRUE(t.has_edge(a, b));
+  for (int i = 0; i < 50; ++i) {
+    t.cut(a, b);
+    t.link(a, b, 1);
+  }
+  ASSERT_TRUE(t.check_valid());
+  ASSERT_TRUE(t.check_aggregates());
+}
+
+}  // namespace
+}  // namespace ufo
