@@ -42,6 +42,7 @@
 #include "obs/trace.h"
 #include "parallel/par_ufo_tree.h"
 #include "parallel/scheduler.h"
+#include "recovery/snapshot.h"
 #include "seq/ufo_tree.h"
 
 using namespace ufo;
@@ -207,9 +208,74 @@ struct RowRunner {
   }
 };
 
+// --checkpoint: durable snapshot save + load of a standing seq tree per
+// input (src/recovery/snapshot.h), timed and size-reported. Returns false
+// (after printing why) if any save or load comes back with an error — the
+// CI perf-smoke job runs this as the persistence liveness gate. With
+// --json the measurements land in the sidecar under "checkpoint".
+bool run_checkpoint_block(const Options& opt, size_t n, std::string* json) {
+  using recovery::ForestSerializer;
+  using recovery::RecoveryError;
+  std::printf(
+      "\n== checkpoint (durable save -> verified load, standing seq tree, "
+      "n=%zu) ==\n%-26s %12s %12s %12s %12s\n",
+      n, "input", "save-s", "load-s", "MB", "save-MB/s");
+  obs::JsonWriter w;
+  w.begin_array();
+  bool ok = true;
+  for (const std::string& input : {"path", "pref-attach", "star"}) {
+    seq::UfoTree t(n);
+    t.batch_link(make_input(input, n));
+    double save_s = 0, load_s = 0;
+    RecoveryError e;
+    {
+      util::ScopedTimer st(save_s);
+      e = ForestSerializer::save(t, opt.checkpoint);
+    }
+    if (e != RecoveryError::kNone) {
+      std::fprintf(stderr, "checkpoint save(%s) failed: %s\n", input.c_str(),
+                   recovery::to_string(e));
+      ok = false;
+      continue;
+    }
+    recovery::SnapshotInfo info;
+    ForestSerializer::peek(opt.checkpoint, &info);
+    seq::UfoTree fresh(n);
+    {
+      util::ScopedTimer st(load_s);
+      e = ForestSerializer::load(fresh, opt.checkpoint);
+    }
+    if (e != RecoveryError::kNone) {
+      std::fprintf(stderr, "checkpoint load(%s) failed: %s\n", input.c_str(),
+                   recovery::to_string(e));
+      ok = false;
+      continue;
+    }
+    double mb = static_cast<double>(info.file_bytes) / (1024.0 * 1024.0);
+    std::printf("%-26s %12.4f %12.4f %12.2f %12.1f\n", input.c_str(), save_s,
+                load_s, mb, save_s > 0 ? mb / save_s : 0.0);
+    std::fflush(stdout);
+    w.begin_object();
+    w.key("input");
+    w.value(input);
+    w.key("save_seconds");
+    w.value(save_s);
+    w.key("load_seconds");
+    w.value(load_s);
+    w.key("bytes");
+    w.value(info.file_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  if (json) *json = w.str();
+  std::remove(opt.checkpoint.c_str());
+  return ok;
+}
+
 void write_sidecar(const Options& opt, size_t n, size_t k, bool sweep,
                    const std::vector<unsigned>& threads,
-                   obs::JsonWriter& rows) {
+                   obs::JsonWriter& rows,
+                   const std::string& checkpoint_json = {}) {
   obs::JsonWriter cfg;
   cfg.begin_object();
   cfg.key("n");
@@ -234,7 +300,9 @@ void write_sidecar(const Options& opt, size_t n, size_t k, bool sweep,
   cfg.value(false);
 #endif
   cfg.end_object();
-  if (!write_bench_json(opt.json, "bench_par_vs_seq", cfg.str(), rows.str()))
+  if (!write_bench_json(opt.json, "bench_par_vs_seq", cfg.str(), rows.str(),
+                        checkpoint_json.empty() ? "" : "checkpoint",
+                        checkpoint_json))
     std::fprintf(stderr, "failed to write sidecar %s\n", opt.json.c_str());
 }
 
@@ -261,8 +329,12 @@ int sweep_main(const char* self, size_t n,
     }
   }
   rows.end_array();
-  if (!opt.json.empty()) write_sidecar(opt, n, 0, true, threads, rows);
-  return 0;
+  std::string ckpt;
+  bool ckpt_ok = opt.checkpoint.empty() ||
+                 run_checkpoint_block(opt, n, opt.json.empty() ? nullptr
+                                                               : &ckpt);
+  if (!opt.json.empty()) write_sidecar(opt, n, 0, true, threads, rows, ckpt);
+  return ckpt_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -302,6 +374,10 @@ int main(int argc, char** argv) {
     runner.run(input, k);
   }
   rows.end_array();
-  if (!opt.json.empty()) write_sidecar(opt, n, k, false, threads, rows);
-  return 0;
+  std::string ckpt;
+  bool ckpt_ok = opt.checkpoint.empty() ||
+                 run_checkpoint_block(opt, n, opt.json.empty() ? nullptr
+                                                               : &ckpt);
+  if (!opt.json.empty()) write_sidecar(opt, n, k, false, threads, rows, ckpt);
+  return ckpt_ok ? 0 : 1;
 }

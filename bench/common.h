@@ -9,6 +9,9 @@
 //   --json=<path>    also write a JSON sidecar (schema "ufo-bench/1")
 //   --trace=<path>   write a chrome://tracing file of one measured run
 //                    (events only appear in -DUFO_OBSERVABILITY=ON builds)
+//   --checkpoint=<path>  benches that support it also time a durable
+//                    snapshot save + load of a standing tree at <path>
+//                    (see src/recovery/snapshot.h)
 // Times are wall-clock seconds on this host; the paper's claims reproduced
 // here are about *relative* shape, not absolute numbers (see DESIGN.md).
 #pragma once
@@ -35,6 +38,7 @@ struct Options {
   bool quick = false;
   std::string json;      // sidecar path; empty = no sidecar
   std::string trace;     // chrome://tracing path; empty = no trace
+  std::string checkpoint;  // snapshot save/load timing path; empty = off
 };
 
 inline Options parse(int argc, char** argv) {
@@ -48,6 +52,8 @@ inline Options parse(int argc, char** argv) {
       opt.json = argv[i] + 7;
     else if (std::strncmp(argv[i], "--trace=", 8) == 0)
       opt.trace = argv[i] + 8;
+    else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0)
+      opt.checkpoint = argv[i] + 13;
     else if (std::strcmp(argv[i], "--quick") == 0)
       opt.quick = true;
   }
@@ -88,9 +94,14 @@ inline std::string read_file(const std::string& path) {
 // `config_json` and `rows_json` are pre-serialized (the bench assembles
 // them with obs::JsonWriter); `metrics` is this process's registry —
 // empty-but-valid in instrumentation-off builds.
+// `extra_key`/`extra_json` splice one optional pre-serialized top-level
+// entry into the sidecar (e.g. the "checkpoint" timing block); consumers
+// ignore top-level keys they don't know.
 inline bool write_bench_json(const std::string& path, const char* bench,
                              const std::string& config_json,
-                             const std::string& rows_json) {
+                             const std::string& rows_json,
+                             const std::string& extra_key = {},
+                             const std::string& extra_json = {}) {
   touch_headline_counters();
   obs::JsonWriter w;
   w.begin_object();
@@ -102,6 +113,10 @@ inline bool write_bench_json(const std::string& path, const char* bench,
   w.raw(config_json);
   w.key("rows");
   w.raw(rows_json);
+  if (!extra_key.empty() && !extra_json.empty()) {
+    w.key(extra_key.c_str());
+    w.raw(extra_json);
+  }
   w.key("metrics");
   w.raw(obs::MetricsRegistry::instance().to_json());
   w.end_object();

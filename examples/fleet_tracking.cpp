@@ -13,9 +13,19 @@
 // a parallel road automatically — the old version of this example did that
 // reroute scan by hand.
 //
-//   ./examples/fleet_tracking [grid_side]
+// A long-running dispatcher also wants to survive restarts: with
+// --checkpoint the service publishes a durable snapshot of the whole layer
+// (forest + non-tree roads + weights) every few simulated hours using the
+// crash-consistent protocol in src/recovery/snapshot.h, and --recover
+// resumes from the latest published checkpoint instead of rebuilding from
+// the map (falling back to a cold start if none exists or it fails to
+// verify).
+//
+//   ./examples/fleet_tracking [grid_side] [--checkpoint=<path>] [--recover]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/ufo.h"
@@ -25,34 +35,62 @@
 using namespace ufo;
 
 int main(int argc, char** argv) {
-  size_t side = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  size_t side = 120;
+  std::string ckpt;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--checkpoint=", 13) == 0)
+      ckpt = argv[i] + 13;
+    else if (std::strcmp(argv[i], "--recover") == 0)
+      recover = true;
+    else
+      side = std::strtoul(argv[i], nullptr, 10);
+  }
   size_t n = side * side;
   EdgeList roads = gen::grid_graph(side, side);
 
   UfoConnectivity net(n);
-  net.batch_insert(roads);
-
-  // Demand weights: city blocks near the center are busier.
-  for (Vertex v = 0; v < n; ++v) {
-    size_t r = v / side, c = v % side;
-    size_t dist_from_mid =
-        (r > side / 2 ? r - side / 2 : side / 2 - r) +
-        (c > side / 2 ? c - side / 2 : side / 2 - c);
-    net.set_vertex_weight(v, static_cast<Weight>(side - dist_from_mid / 2));
+  bool recovered = false;
+  if (recover && !ckpt.empty()) {
+    recovery::LoadStats st;
+    recovery::RecoveryError e = net.load_checkpoint(ckpt, {}, &st);
+    if (e == recovery::RecoveryError::kNone) {
+      recovered = true;
+      std::printf("recovered %zu roads from %s (%llu bytes%s)\n",
+                  net.num_edges(), ckpt.c_str(),
+                  static_cast<unsigned long long>(st.bytes),
+                  st.degraded ? ", degraded" : "");
+    } else {
+      std::fprintf(stderr, "recover from %s failed (%s); cold start\n",
+                   ckpt.c_str(), recovery::to_string(e));
+    }
+  }
+  if (!recovered) {
+    net.batch_insert(roads);
+    // Demand weights: city blocks near the center are busier.
+    for (Vertex v = 0; v < n; ++v) {
+      size_t r = v / side, c = v % side;
+      size_t dist_from_mid =
+          (r > side / 2 ? r - side / 2 : side / 2 - r) +
+          (c > side / 2 ? c - side / 2 : side / 2 - c);
+      net.set_vertex_weight(v, static_cast<Weight>(side - dist_from_mid / 2));
+    }
   }
 
-  // Depots: a handful of marked grid points.
+  // Depots: a handful of marked grid points. The draw is deterministic, so
+  // a recovered run recomputes the same depot list; the marks themselves
+  // ride along in the checkpoint's vertex section.
   util::SplitMix64 rng(31);
   std::vector<Vertex> depots;
   for (int d = 0; d < 6; ++d) {
     Vertex v = static_cast<Vertex>(rng.next(n));
     depots.push_back(v);
-    net.set_mark(v, true);
+    if (!recovered) net.set_mark(v, true);
   }
 
   util::Timer timer;
   long long checksum = 0;
-  size_t closures = 0, reopenings = 0;
+  size_t closures = 0, reopenings = 0, saves = 0;
   std::vector<Edge> closed;
   for (int hour = 0; hour < 24; ++hour) {
     // Query burst: 2000 dispatch lookups against the spanning forest.
@@ -79,6 +117,17 @@ int main(int argc, char** argv) {
       net.insert(e.u, e.v, e.w);
       ++reopenings;
     }
+    // End-of-shift checkpoint: durable (temp + fsync + rename), so a crash
+    // at any point leaves the previous shift's snapshot loadable.
+    if (!ckpt.empty() && (hour + 1) % 6 == 0) {
+      recovery::RecoveryError e = net.save_checkpoint(ckpt);
+      if (e != recovery::RecoveryError::kNone) {
+        std::fprintf(stderr, "checkpoint to %s failed: %s\n", ckpt.c_str(),
+                     recovery::to_string(e));
+        return 2;
+      }
+      ++saves;
+    }
   }
   double secs = timer.elapsed();
 
@@ -87,6 +136,8 @@ int main(int argc, char** argv) {
   std::printf("  48000 nearest-depot queries, 72 planning queries, %zu road "
               "closures, %zu reopenings\n",
               closures, reopenings);
+  if (!ckpt.empty())
+    std::printf("  %zu checkpoints published to %s\n", saves, ckpt.c_str());
   std::printf("  %zu components at close of day, checksum %lld\n",
               net.num_components(), checksum);
 

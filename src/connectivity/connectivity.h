@@ -40,21 +40,33 @@
 // HDT-style amortization), which the bench_connectivity sweep measures.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
+#include <new>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "connectivity/edge_store.h"
 #include "core/capabilities.h"
+#include "core/invariants.h"
 #include "graph/forest.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/primitives.h"
 #include "parallel/scheduler.h"
+#include "recovery/snapshot.h"
 #include "seq/ufo_tree.h"
 #include "util/union_find.h"
 
 namespace ufo::conn {
+
+// Outcome of a batch mutation. kDegradedAlloc: the bulk hash-table
+// reservation failed (real or injected bad_alloc), so the batch completed
+// through the sequential fallback — the structure is fully consistent and
+// every edge was applied, only the parallel fast path was lost.
+enum class BatchStatus { kOk, kDegradedAlloc };
 
 // BFS component labeling over a tree-edge store; label = smallest vertex id
 // in the component. Shared by check_valid() and the test oracles.
@@ -150,9 +162,11 @@ class GraphConnectivity {
   // precondition: self-loops, duplicates within the batch, and edges already
   // present are filtered, and cycle-closing edges become non-tree edges. The
   // spanning candidates are staged through a union-find so the backend batch
-  // is mutually independent (Section 5 contract).
-  void batch_insert(const EdgeList& edges) {
-    if (edges.empty()) return;
+  // is mutually independent (Section 5 contract). Returns kDegradedAlloc if
+  // a bulk reservation failed and the sequential fallback was used (the
+  // batch is still fully applied).
+  BatchStatus batch_insert(const EdgeList& edges) {
+    if (edges.empty()) return BatchStatus::kOk;
     // Phase 1 (parallel): canonicalize and drop self-loops + present edges.
     EdgeList cand(edges.size());
     par::parallel_for(0, edges.size(), [&](size_t i) {
@@ -172,7 +186,7 @@ class GraphConnectivity {
                              return edge_key(a.u, a.v) == edge_key(b.u, b.v);
                            }),
                cand.end());
-    if (cand.empty()) return;
+    if (cand.empty()) return BatchStatus::kOk;
 
     // Phase 2: stage through a union-find over the batch endpoints, seeded
     // so endpoints sharing a forest component start united.
@@ -198,21 +212,19 @@ class GraphConnectivity {
     }
 
     // Phase 3: apply. The tree batch is mutually independent by staging.
+    BatchStatus status = BatchStatus::kOk;
     for (const Edge& e : cand) weight_[edge_key(e.u, e.v)] = e.w;
     if (!tree_batch.empty()) {
       forest_.batch_link(tree_batch);
       components_ -= tree_batch.size();
-      tree_.reserve_batch(tree_batch);
-      par::parallel_for(0, tree_batch.size(), [&](size_t i) {
-        tree_.insert_concurrent(tree_batch[i].u, tree_batch[i].v);
-      });
+      if (store_batch(tree_, tree_batch) == BatchStatus::kDegradedAlloc)
+        status = BatchStatus::kDegradedAlloc;
     }
     if (!nontree_batch.empty()) {
-      nontree_.reserve_batch(nontree_batch);
-      par::parallel_for(0, nontree_batch.size(), [&](size_t i) {
-        nontree_.insert_concurrent(nontree_batch[i].u, nontree_batch[i].v);
-      });
+      if (store_batch(nontree_, nontree_batch) == BatchStatus::kDegradedAlloc)
+        status = BatchStatus::kDegradedAlloc;
     }
+    return status;
   }
 
   // Erase a batch of edges. Absent edges and duplicates are filtered.
@@ -277,27 +289,155 @@ class GraphConnectivity {
     return total;
   }
 
-  // Invariant audit (tests): the forest spans exactly the graph's
-  // components, every non-tree edge is intra-component, and the counters
-  // agree with a from-scratch labeling.
-  bool check_valid() const {
+  // Invariant audit: the forest spans exactly the graph's components, every
+  // non-tree edge is intra-component, and the counters agree with a
+  // from-scratch labeling. Failure codes (entity = a vertex of the edge,
+  // or 0 for counter drift):
+  //   #101 component count drift     #104 edge missing its weight entry
+  //   #102 tree edge count drift     #105 spanning forest out of sync
+  //   #103 crossing non-tree edge
+  core::InvariantReport validate() const {
+    core::InvariantReport rep;
     std::vector<Vertex> label = component_labels(tree_);
     size_t comps = 0;
     for (Vertex v = 0; v < n_; ++v)
       if (label[v] == v) ++comps;
-    if (comps != components_) return false;
-    if (tree_.edges() != n_ - components_) return false;
-    bool ok = true;
-    for (Vertex v = 0; v < n_ && ok; ++v) {
+    if (comps != components_) rep.add(101, 0, "component count drift");
+    if (tree_.edges() != n_ - components_)
+      rep.add(102, 0, "tree edge count drift");
+    for (Vertex v = 0; v < n_ && !rep.truncated; ++v) {
       nontree_.for_each_neighbor(v, [&](Vertex y) {
-        if (label[v] != label[y]) ok = false;       // crossing non-tree edge
-        if (!weight_.count(edge_key(v, y))) ok = false;
+        if (label[v] != label[y]) rep.add(103, v, "crossing non-tree edge");
+        if (!weight_.count(edge_key(v, y))) rep.add(104, v, "missing weight");
       });
       tree_.for_each_neighbor(v, [&](Vertex y) {
-        if (!forest_.connected(v, y)) ok = false;   // forest out of sync
+        if (!forest_.connected(v, y)) rep.add(105, v, "forest out of sync");
       });
     }
-    return ok;
+    return rep;
+  }
+
+  bool check_valid() const {
+    core::InvariantReport rep = validate();
+    if (!rep.ok()) rep.print(stderr);
+    return rep.ok();
+  }
+
+  // --- Checkpointing --------------------------------------------------------
+  // Durable snapshot of the whole layer: the spanning forest's cluster
+  // hierarchy (via ForestSerializer) plus tree/non-tree edge sets, edge
+  // weights, and the component counter, all in one checksummed file
+  // written with the temp + fsync + rename protocol.
+  recovery::RecoveryError save_checkpoint(const std::string& path) const
+    requires std::derived_from<Backend, core::UfoCore>
+  {
+    UFO_SPAN("recovery.conn_save");
+    recovery::SnapshotWriter w;
+    recovery::ForestSerializer::append(w, forest_);
+    recovery::ByteBuf meta;
+    meta.put_u64(n_);
+    meta.put_u64(components_);
+    w.add_section(recovery::kSecConnMeta, std::move(meta));
+    w.add_section(recovery::kSecTreeEdges, dump_edges(tree_));
+    w.add_section(recovery::kSecNontreeEdges, dump_edges(nontree_));
+    recovery::ByteBuf ws;
+    ws.put_u64(weight_.size());
+    for (const auto& [k, wt] : weight_) {
+      ws.put_u64(k);
+      ws.put_i64(wt);
+    }
+    w.add_section(recovery::kSecWeights, std::move(ws));
+    return w.commit(path);
+  }
+
+  // Restore into a freshly constructed GraphConnectivity of the snapshot's
+  // n. Edge sets are cross-checked against a union-find rebuilt from the
+  // tree edges (cycle / crossing / counter drift -> kInconsistent); a
+  // damaged kWeights section degrades to default weights when allowed.
+  recovery::RecoveryError load_checkpoint(
+      const std::string& path, const recovery::LoadOptions& opts = {},
+      recovery::LoadStats* stats = nullptr)
+    requires std::derived_from<Backend, core::UfoCore>
+  {
+    using recovery::RecoveryError;
+    UFO_SPAN("recovery.conn_load");
+    recovery::LoadStats local;
+    recovery::LoadStats& st = stats ? *stats : local;
+    if (tree_.edges() != 0 || nontree_.edges() != 0 || components_ != n_ ||
+        !weight_.empty())
+      return RecoveryError::kBadTarget;
+    recovery::SnapshotReader r;
+    RecoveryError e = r.open(path);
+    if (e != RecoveryError::kNone) return e;
+    e = recovery::ForestSerializer::restore(r, forest_, opts, &st);
+    if (e != RecoveryError::kNone) return e;
+
+    const auto* cm = r.find(recovery::kSecConnMeta);
+    const auto* te = r.find(recovery::kSecTreeEdges);
+    const auto* ne = r.find(recovery::kSecNontreeEdges);
+    const auto* wsec = r.find(recovery::kSecWeights);
+    if (!cm || !te || !ne) return RecoveryError::kMissingSection;
+    if (cm->corrupt || te->corrupt || ne->corrupt)
+      return RecoveryError::kCorruptSection;
+    recovery::Cursor mc(cm->data, cm->len);
+    uint64_t n = mc.get_u64();
+    uint64_t comps = mc.get_u64();
+    if (!mc.ok()) return RecoveryError::kTruncated;
+    if (n != n_) return RecoveryError::kBadTarget;
+    if (comps > n_) return RecoveryError::kInconsistent;
+
+    EdgeList tree_edges;
+    try {
+      e = parse_edges(*te, &tree_edges);
+      if (e != RecoveryError::kNone) return e;
+      EdgeList nontree_edges;
+      e = parse_edges(*ne, &nontree_edges);
+      if (e != RecoveryError::kNone) return e;
+      for (const Edge& ed : tree_edges) {
+        if (!tree_.insert(ed.u, ed.v)) return RecoveryError::kInconsistent;
+        weight_[edge_key(ed.u, ed.v)] = 1;
+      }
+      for (const Edge& ed : nontree_edges) {
+        if (tree_.contains(ed.u, ed.v) || !nontree_.insert(ed.u, ed.v))
+          return RecoveryError::kInconsistent;
+        weight_[edge_key(ed.u, ed.v)] = 1;
+      }
+      if (wsec && !wsec->corrupt) {
+        recovery::Cursor wc(wsec->data, wsec->len);
+        uint64_t count = wc.get_u64();
+        if (count > wsec->len / 16 || !wc.can_read(count * 16))
+          return RecoveryError::kTruncated;
+        for (uint64_t i = 0; i < count; ++i) {
+          uint64_t key = wc.get_u64();
+          Weight wt = wc.get_i64();
+          auto it = weight_.find(key);
+          if (it == weight_.end()) return RecoveryError::kInconsistent;
+          it->second = wt;
+        }
+      } else if (opts.allow_degraded) {
+        st.degraded = true;
+        st.notes.emplace_back("edge weights defaulted to 1");
+        UFO_STAT("recovery.load.degraded", 1);
+      } else {
+        return RecoveryError::kCorruptSection;
+      }
+      components_ = comps;
+
+      // Cross-check the edge sets against a union-find rebuilt from the
+      // tree edges (the staged batches' certification structure): a cycle,
+      // a crossing non-tree edge, or counter drift is kInconsistent.
+      util::UnionFind uf(n_);
+      for (const Edge& ed : tree_edges)
+        if (!uf.unite(ed.u, ed.v)) return RecoveryError::kInconsistent;
+      if (uf.num_components() != components_)
+        return RecoveryError::kInconsistent;
+      for (const Edge& ed : nontree_edges)
+        if (!uf.same(ed.u, ed.v)) return RecoveryError::kInconsistent;
+    } catch (const std::bad_alloc&) {
+      return RecoveryError::kAllocFailed;
+    }
+    if (opts.verify && !validate().ok()) return RecoveryError::kInconsistent;
+    return RecoveryError::kNone;
   }
 
  private:
@@ -314,6 +454,54 @@ class GraphConnectivity {
     forest_.link(u, v, w);
     tree_.insert(u, v);
     --components_;
+  }
+
+  // Bulk-insert `edges` into `store`: reserve once + parallel inserts, or,
+  // when the reservation's allocation fails, degrade to sequential
+  // per-edge inserts (each grows incrementally, so a failed bulk
+  // reservation does not imply the small ones fail too).
+  BatchStatus store_batch(EdgeStore& store, const EdgeList& edges) {
+    if (store.try_reserve_batch(edges)) {
+      par::parallel_for(0, edges.size(), [&](size_t i) {
+        store.insert_concurrent(edges[i].u, edges[i].v);
+      });
+      return BatchStatus::kOk;
+    }
+    UFO_STAT("conn.degraded_batches", 1);
+    for (const Edge& e : edges) store.insert(e.u, e.v);
+    return BatchStatus::kDegradedAlloc;
+  }
+
+  static recovery::ByteBuf dump_edges(const EdgeStore& s) {
+    recovery::ByteBuf b;
+    b.put_u64(s.edges());
+    for (Vertex v = 0; v < s.vertices(); ++v)
+      s.for_each_neighbor(v, [&](Vertex y) {
+        if (v < y) {
+          b.put_u32(v);
+          b.put_u32(y);
+        }
+      });
+    return b;
+  }
+
+  recovery::RecoveryError parse_edges(const recovery::SnapshotReader::Section& sec,
+                                      EdgeList* out) const {
+    recovery::Cursor c(sec.data, sec.len);
+    uint64_t count = c.get_u64();
+    // Divide, don't multiply: a corrupt count must not overflow the guard.
+    if (count > sec.len / 8 || !c.can_read(count * 8))
+      return recovery::RecoveryError::kTruncated;
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Edge e;
+      e.u = c.get_u32();
+      e.v = c.get_u32();
+      if (e.u >= n_ || e.v >= n_ || e.u == e.v)
+        return recovery::RecoveryError::kInconsistent;
+      out->push_back(e);
+    }
+    return recovery::RecoveryError::kNone;
   }
 
   void cut_tree(Vertex u, Vertex v) {

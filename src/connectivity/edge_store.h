@@ -89,6 +89,21 @@ class EdgeStore {
     for (const auto& [v, k] : extra) adj_[v].reserve(k);
   }
 
+  // reserve_batch() with allocation failure reported instead of thrown.
+  // Returns false as soon as one endpoint's growth fails; every set is
+  // still valid (try_reserve leaves a set untouched on failure), so the
+  // caller can fall back to sequential per-edge inserts.
+  bool try_reserve_batch(const EdgeList& edges) {
+    std::unordered_map<Vertex, size_t> extra;
+    for (const Edge& e : edges) {
+      ++extra[e.u];
+      ++extra[e.v];
+    }
+    for (const auto& [v, k] : extra)
+      if (!adj_[v].try_reserve(k)) return false;
+    return true;
+  }
+
   size_t memory_bytes() const {
     size_t total = sizeof(*this) + adj_.capacity() * sizeof(adj_[0]);
     for (const auto& s : adj_) total += s.memory_bytes();

@@ -27,7 +27,10 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
+
+#include "util/fault.h"
 
 namespace ufo::core {
 
@@ -169,6 +172,9 @@ class SlabPool {
   }
 
   uint32_t bump_alloc(uint32_t cap) {
+    // Injected allocation failure surfaces exactly like a real segment
+    // allocation failing; SpinGuard unlocks on unwind.
+    if (UFO_FAULT_POINT("pool.slab.alloc")) throw std::bad_alloc();
     SpinGuard g(bump_lock_);
     while (seg_elems(cur_seg_) - cur_off_ < cap) {
       carve_remainder();
@@ -236,6 +242,7 @@ class ObjectPool {
   }
 
   uint32_t alloc() {
+    if (UFO_FAULT_POINT("pool.obj.alloc")) throw std::bad_alloc();
     SpinGuard g(lock_);
     if (!free_.empty()) {
       uint32_t h = free_.back();

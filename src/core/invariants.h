@@ -1,0 +1,61 @@
+// Structured invariant-audit results, shared by core::UfoCore::validate(),
+// conn::GraphConnectivity::validate(), and the recovery subsystem's
+// verify-on-load pass.
+//
+// Historically check_valid() fprintf'd a failure code to stderr and
+// returned bool, which is fine for a test assertion but useless to a
+// caller that needs to decide between "reject this snapshot" and "rebuild
+// this derived section": the decision needs the failure code and the
+// cluster it fired on. validate() returns this report instead;
+// check_valid() survives as a bool wrapper that prints the report in the
+// old format.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ufo::core {
+
+// One violated invariant. `code` is the historical check_valid failure
+// number (stable across releases; documented at the check sites), `entity`
+// the cluster id (UfoCore) or vertex (connectivity) it fired on.
+struct InvariantFailure {
+  int code = 0;
+  uint32_t entity = 0;
+  std::string message;
+};
+
+struct InvariantReport {
+  // Collection stops once kMaxFailures accumulate (a corrupt snapshot can
+  // violate every cluster; the first screenful is what anyone reads).
+  static constexpr size_t kMaxFailures = 64;
+
+  std::vector<InvariantFailure> failures;
+  bool truncated = false;  // true when kMaxFailures was hit
+
+  bool ok() const { return failures.empty(); }
+
+  // True while the audit should keep recording (lets check loops bail out
+  // of scanning once the report is full).
+  bool add(int code, uint32_t entity, std::string message) {
+    if (failures.size() >= kMaxFailures) {
+      truncated = true;
+      return false;
+    }
+    failures.push_back({code, entity, std::move(message)});
+    return failures.size() < kMaxFailures;
+  }
+
+  // The historical check_valid stderr format, one line per failure.
+  void print(std::FILE* out) const {
+    for (const InvariantFailure& f : failures)
+      std::fprintf(out, "check_valid fail #%d at cluster %u%s%s\n", f.code,
+                   f.entity, f.message.empty() ? "" : ": ",
+                   f.message.c_str());
+    if (truncated) std::fprintf(out, "check_valid: further failures elided\n");
+  }
+};
+
+}  // namespace ufo::core

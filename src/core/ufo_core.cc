@@ -794,23 +794,33 @@ UfoCore::MemoryBreakdown UfoCore::memory_breakdown() const {
   return b;
 }
 
-bool UfoCore::check_valid() const {
+InvariantReport UfoCore::validate() const {
+  InvariantReport rep;
+  // Failure codes are stable across releases (the recovery subsystem keys
+  // degrade decisions off them):
+  //   #1 child's parent link wrong        #7 center_child not a child
+  //   #2 child not one level below        #8 pair-merge children not adjacent
+  //   #3 adjacency not symmetric          #9 fanout >= 3 without a center
+  //   #4 neighbor at a different level   #10 mergeable root pair (maximality)
+  //   #5 rake with degree != 1           #11 unraked degree-1 neighbor
+  //   #6 rake edge misses the center     #12 adjacency hash index mismatch
   for (uint32_t id = 1; id < pool_size(); ++id) {
     const Hot& c = hot_[id];
     if (c.level == kFreedLevel) continue;
     for (uint32_t ch : children(id)) {
-      if (hot_[ch].parent != id) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 1, id); return false; }
-      if (hot_[ch].level != c.level - 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 2, id); return false; }
+      if (hot_[ch].parent != id && !rep.add(1, id, {})) return rep;
+      if (hot_[ch].level != c.level - 1 && !rep.add(2, id, {})) return rep;
     }
     for (const Adj& a : nbrs(id)) {
-      if (!adj_contains(a.nbr, id)) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 3, id); return false; }
-      if (hot_[a.nbr].level != c.level) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 4, id); return false; }
+      if (!adj_contains(a.nbr, id) && !rep.add(3, id, {})) return rep;
+      if (hot_[a.nbr].level != c.level && !rep.add(4, id, {})) return rep;
     }
     if (c.adj_index != kNullSlab) {
       // The hash index, when present, must agree with the slab entry by
       // entry (position and key).
       for (uint32_t i = 0; i < c.nbrs.size; ++i) {
-        if (adj_index_find(id, nbrs(id)[i].nbr) != i) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 12, id); return false; }
+        if (adj_index_find(id, nbrs(id)[i].nbr) != i && !rep.add(12, id, {}))
+          return rep;
       }
     }
     if (c.center_child != 0) {
@@ -822,15 +832,19 @@ bool UfoCore::check_valid() const {
           center_found = true;
           continue;
         }
-        if (hot_[ch].nbrs.size != 1) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 5, id); return false; }
-        if (nbrs(ch)[0].nbr != c.center_child) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 6, id); return false; }
+        if (hot_[ch].nbrs.size != 1 && !rep.add(5, id, {})) return rep;
+        if (hot_[ch].nbrs.size >= 1 && nbrs(ch)[0].nbr != c.center_child &&
+            !rep.add(6, id, {}))
+          return rep;
       }
-      if (!center_found) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 7, id); return false; }
+      if (!center_found && !rep.add(7, id, {})) return rep;
     } else if (c.children.size == 2) {
       // Pair merge: children adjacent, degree sum <= 4 at merge time.
-      if (!adj_contains(children(id)[0], children(id)[1])) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 8, id); return false; }
+      if (!adj_contains(children(id)[0], children(id)[1]) &&
+          !rep.add(8, id, {}))
+        return rep;
     } else if (c.children.size > 2) {
-      { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 9, id); return false; }  // fanout >= 3 requires a center
+      if (!rep.add(9, id, {})) return rep;  // fanout >= 3 requires a center
     }
     // Maximality for root clusters.
     if (c.parent == 0 && c.nbrs.size != 0) {
@@ -840,18 +854,25 @@ bool UfoCore::check_valid() const {
         size_t dy = y.nbrs.size;
         bool allowed = (d + dy <= 4 && d <= 2 && dy <= 2) ||
                        (d >= 3 && dy == 1) || (dy >= 3 && d == 1);
-        if (allowed && y.parent == 0) { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 10, id); return false; }
+        if (allowed && y.parent == 0 && !rep.add(10, id, {})) return rep;
       }
     }
     // High-degree clusters merge with all their degree-1 neighbors.
     if (c.nbrs.size >= 3 && c.parent != 0) {
       for (const Adj& a : nbrs(id)) {
-        if (hot_[a.nbr].nbrs.size == 1 && hot_[a.nbr].parent != c.parent)
-          { std::fprintf(stderr, "check_valid fail #%d at cluster %u\n", 11, id); return false; }
+        if (hot_[a.nbr].nbrs.size == 1 && hot_[a.nbr].parent != c.parent &&
+            !rep.add(11, id, {}))
+          return rep;
       }
     }
   }
-  return true;
+  return rep;
+}
+
+bool UfoCore::check_valid() const {
+  InvariantReport rep = validate();
+  if (!rep.ok()) rep.print(stderr);
+  return rep.ok();
 }
 
 // ---------------------------------------------------------------------------

@@ -47,8 +47,13 @@
 #include <vector>
 
 #include "core/cluster_pool.h"
+#include "core/invariants.h"
 #include "core/sorted_bag.h"
 #include "graph/forest.h"
+
+namespace ufo::recovery {
+class ForestSerializer;  // checkpointing (src/recovery/snapshot.h)
+}
 
 namespace ufo::core {
 
@@ -100,6 +105,9 @@ class UfoCore {
   size_t memory_bytes() const { return memory_breakdown().total(); }
   size_t live_clusters() const { return live_clusters_; }
   size_t height(Vertex v) const;
+  // Full structural audit. Returns every violated invariant (failure code,
+  // cluster id) instead of printing; check_valid() wraps it for tests.
+  InvariantReport validate() const;
   bool check_valid() const;
   // Recomputes every cluster's aggregates bottom-up and compares with the
   // maintained values; returns false (and reports) on any divergence.
@@ -109,6 +117,10 @@ class UfoCore {
   explicit UfoCore(size_t n);
   UfoCore(const UfoCore&) = delete;
   UfoCore& operator=(const UfoCore&) = delete;
+
+  // The snapshot subsystem is the one external reader/writer of the pools;
+  // it dumps logical records and rebuilds all derived state on load.
+  friend class ufo::recovery::ForestSerializer;
 
   struct Adj {
     uint32_t nbr = 0;

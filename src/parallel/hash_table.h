@@ -8,9 +8,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 #include "util/random.h"
 
 namespace ufo::par {
@@ -158,6 +160,20 @@ class ConcurrentSet {
     size_.store(0, std::memory_order_relaxed);
     tombs_.store(0, std::memory_order_relaxed);
     for (uint64_t k : live) insert(k);
+  }
+
+  // reserve() with the allocation failure surfaced as a return value
+  // instead of bad_alloc. The set is untouched on failure (the new table
+  // is allocated before anything is torn down), so callers can degrade —
+  // e.g. fall back to incremental per-edge growth — rather than terminate.
+  bool try_reserve(size_t n) noexcept {
+    if (UFO_FAULT_POINT("hash.reserve")) return false;
+    try {
+      reserve(n);
+      return true;
+    } catch (const std::bad_alloc&) {
+      return false;
+    }
   }
 
   // Snapshot of live keys (single-threaded or read-only phase).

@@ -1,0 +1,149 @@
+// Deterministic fault injection for robustness testing, modeled on the
+// UFO_OBSERVABILITY gating (obs/metrics.h): the UFO_FAULT_POINT macro
+// compiles to a constant `false` unless the library is built with
+// -DUFO_FAULT_INJECTION=ON, so production builds carry zero cost and no
+// injection surface. The Injector class itself is always compiled so tests
+// can reference it unconditionally (they GTEST_SKIP when the macro is off).
+//
+// Every fault site has a dotted name (`pool.slab.alloc`,
+// `snapshot.torn_write`, ...) and a per-site hit counter. Two arming modes:
+//
+//   * arm_nth(site, n): the site fires exactly on its nth hit (0-based)
+//     after arming, then never again — the mode the recovery tests use to
+//     place one failure at an exact point in a save/load/batch.
+//   * arm_rate(seed, rate): every site fires pseudo-randomly at `rate`,
+//     decided by a splitmix64 hash of (seed, site name, hit index) — fully
+//     deterministic for a given seed, independent of thread interleaving
+//     for a given per-site hit index.
+//
+// Sites are hit from parallel phases (SlabPool::alloc runs inside
+// fork-join tasks), so the registry is mutex-guarded; fault builds are
+// test builds and the lock cost is irrelevant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/random.h"
+
+namespace ufo::fault {
+
+class Injector {
+ public:
+  static Injector& instance() {
+    static Injector inj;
+    return inj;
+  }
+
+  // Fire exactly the nth hit of `site` counted from this call (n = 0 means
+  // the very next hit). Replaces any previous trigger on the site.
+  void arm_nth(const std::string& site, uint64_t nth) {
+    std::lock_guard<std::mutex> g(mu_);
+    Site& s = sites_[site];
+    s.armed = true;
+    s.fire_at = s.hits + nth;
+    s.spent = false;
+  }
+
+  // Fire every site at `rate` (0..1), decided deterministically per
+  // (seed, site, hit index).
+  void arm_rate(uint64_t seed, double rate) {
+    std::lock_guard<std::mutex> g(mu_);
+    rate_armed_ = true;
+    rate_seed_ = seed;
+    rate_threshold_ = rate >= 1.0 ? ~0ULL
+                                  : static_cast<uint64_t>(
+                                        rate * 18446744073709551615.0);
+  }
+
+  // Disarm everything; hit counters keep counting.
+  void disarm() {
+    std::lock_guard<std::mutex> g(mu_);
+    rate_armed_ = false;
+    for (auto& [name, s] : sites_) s.armed = false;
+  }
+
+  // Hot path behind UFO_FAULT_POINT: bump the site counter and decide.
+  bool should_fire(const char* site) {
+    std::lock_guard<std::mutex> g(mu_);
+    Site& s = sites_[site];
+    uint64_t hit = s.hits++;
+    if (s.armed && !s.spent && hit == s.fire_at) {
+      s.spent = true;
+      ++s.fired;
+      ++total_fired_;
+      return true;
+    }
+    if (rate_armed_) {
+      uint64_t h = util::hash64(rate_seed_ ^ util::hash64(hit + 1) ^
+                                hash_name(site));
+      if (h < rate_threshold_) {
+        ++s.fired;
+        ++total_fired_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t hits(const std::string& site) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
+  }
+
+  uint64_t fired(const std::string& site) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+  }
+
+  uint64_t total_fired() {
+    std::lock_guard<std::mutex> g(mu_);
+    return total_fired_;
+  }
+
+  // Test isolation: forget every site and trigger.
+  void reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    sites_.clear();
+    rate_armed_ = false;
+    total_fired_ = 0;
+  }
+
+ private:
+  struct Site {
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+    uint64_t fire_at = 0;
+    bool armed = false;
+    bool spent = true;
+  };
+
+  static uint64_t hash_name(const char* s) {
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (; *s; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 1099511628211ULL;
+    return h;
+  }
+
+  std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  bool rate_armed_ = false;
+  uint64_t rate_seed_ = 0;
+  uint64_t rate_threshold_ = 0;
+  uint64_t total_fired_ = 0;
+};
+
+}  // namespace ufo::fault
+
+#if defined(UFO_FAULT_INJECTION) && UFO_FAULT_INJECTION
+// True when the named site should fail this hit. Callers simulate the
+// failure they guard: throw bad_alloc at allocation sites, truncate at
+// write sites, flip bits at read sites.
+#define UFO_FAULT_POINT(site) \
+  (::ufo::fault::Injector::instance().should_fire(site))
+#else
+#define UFO_FAULT_POINT(site) false
+#endif
