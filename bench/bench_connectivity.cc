@@ -5,8 +5,20 @@
 // stand-ins: a grid (road-like, high diameter, ~half the edges become
 // non-tree) and a preferential-attachment social graph (low diameter).
 //
+// --erase-heavy switches to the replacement-search stress mode: build each
+// input once, then time rounds of (batch_erase of k edges, untimed
+// re-insert) on a standing graph, with the serial reference search and the
+// level-synchronous parallel engine side by side. The inputs are chosen to
+// shatter: a star (every cut batch makes k+1 pieces, all hub-side searches
+// collide), a grid (long multi-round doubling-radius searches), and a
+// power-law social graph (skewed piece sizes). The serial column degrades
+// with k (it pays O(piece) per cut pair); the engine's claim-merge protocol
+// keeps throughput flat — the acceptance sweep recorded in BENCH.md.
+//
 //   ./bench_connectivity [--n=<vertices>] [--batch=<only this k>] [--quick]
+//                        [--erase-heavy] [--json=<path>]
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -69,10 +81,150 @@ std::pair<double, double> sweep_once(const Input& in, size_t k,
   return {insert_s, erase_s};
 }
 
+// Erase-heavy: on a standing graph, `rounds` rounds of batch_erase of k
+// random edges (timed) followed by re-inserting the same k (untimed), so
+// every round hits a fully-built structure and the replacement search —
+// not the insert path — dominates the measurement. Round -1 is an untimed
+// warm-up: it pays the engine's one-time pooled-state allocation (claim
+// table, arenas — first-touch page faults scale with n) so the timed
+// rounds measure steady state, which is what a standing service sees.
+// Returns total erase seconds; *erased_total counts the edges actually
+// removed.
+double erase_heavy_seconds(const Input& in, size_t k, int rounds, bool serial,
+                           uint64_t seed, size_t* erased_total) {
+  conn::GraphConnectivity<seq::UfoTree> g(in.n);
+  g.set_serial_replacement_search(serial);
+  g.batch_insert(in.edges);
+  if (k > in.edges.size()) k = in.edges.size();
+  EdgeList pool = in.edges;
+  util::SplitMix64 rng(seed);
+  double total = 0;
+  *erased_total = 0;
+  for (int r = -1; r < rounds; ++r) {
+    // Partial Fisher-Yates: k distinct random edges per round.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(rng.next(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    EdgeList batch(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(k));
+    size_t before = g.num_edges();
+    util::Timer timer;
+    g.batch_erase(batch);
+    if (r >= 0) {
+      total += timer.elapsed();
+      *erased_total += before - g.num_edges();
+    }
+    g.batch_insert(batch);
+    if (g.num_edges() != in.edges.size()) {
+      std::fprintf(stderr, "%s k=%zu: restore drift (%zu vs %zu)\n",
+                   in.name.c_str(), k, g.num_edges(), in.edges.size());
+      std::exit(1);
+    }
+  }
+  return total;
+}
+
+int run_erase_heavy(const bench::Options& opt) {
+  // Defaults sized so the full sweep finishes in minutes; --n scales the
+  // sustained-throughput regime (BENCH.md records an n=10M social row).
+  size_t n = opt.n ? opt.n : (opt.quick ? 1 << 10 : 1 << 14);
+  int rounds = opt.quick ? 3 : 6;
+
+  // At --n >= 1M the sweep switches to the sustained-throughput regime:
+  // social graph only (the star/grid shatter microbenchmarks live at the
+  // default size — their serial columns would run for hours at 10M) and
+  // larger waves, the BENCH.md n=10M row.
+  bool sustained = opt.n >= (size_t{1} << 20);
+  size_t side = 1;
+  while ((side + 1) * (side + 1) <= n) ++side;
+  std::vector<Input> inputs;
+  if (!sustained) {
+    inputs.push_back({"star", n, gen::star(n)});
+    inputs.push_back({"grid", side * side, gen::grid_graph(side, side)});
+  }
+  inputs.push_back({"social", n, gen::social_graph(n, 4, 11)});
+
+  std::vector<size_t> ks = {16, 64, 256, 1024, 4096};
+  if (sustained) ks = {1024, 16384, 131072};
+  if (opt.batch) ks = {opt.batch};
+
+  obs::JsonWriter rows;
+  rows.begin_array();
+  for (const Input& in : inputs) {
+    std::printf(
+        "\n== erase-heavy replacement search: %s (n=%zu, m=%zu, rounds=%d) "
+        "==\n",
+        in.name.c_str(), in.n, in.edges.size(), rounds);
+    std::printf("%-12s %12s %12s %14s %14s %9s\n", "batch", "serial_s",
+                "par_s", "ser_Medges/s", "par_Medges/s", "speedup");
+    for (size_t k : ks) {
+      if (k > in.edges.size()) continue;
+      size_t ser_edges = 0, par_edges = 0;
+      double ser_s =
+          erase_heavy_seconds(in, k, rounds, /*serial=*/true, 42, &ser_edges);
+      double par_s =
+          erase_heavy_seconds(in, k, rounds, /*serial=*/false, 42, &par_edges);
+      double ser_tp = static_cast<double>(ser_edges) / 1e6 / ser_s;
+      double par_tp = static_cast<double>(par_edges) / 1e6 / par_s;
+      std::printf("%-12zu %12.4f %12.4f %14.3f %14.3f %8.2fx\n", k, ser_s,
+                  par_s, ser_tp, par_tp, ser_s / par_s);
+      std::fflush(stdout);
+      rows.begin_object();
+      rows.key("input");
+      rows.value(in.name);
+      rows.key("n");
+      rows.value(static_cast<uint64_t>(in.n));
+      rows.key("k");
+      rows.value(static_cast<uint64_t>(k));
+      rows.key("rounds");
+      rows.value(int64_t{rounds});
+      rows.key("serial_seconds");
+      rows.value(ser_s);
+      rows.key("par_seconds");
+      rows.value(par_s);
+      rows.key("serial_edges_erased");
+      rows.value(static_cast<uint64_t>(ser_edges));
+      rows.key("par_edges_erased");
+      rows.value(static_cast<uint64_t>(par_edges));
+      rows.key("serial_medges_per_s");
+      rows.value(ser_tp);
+      rows.key("par_medges_per_s");
+      rows.value(par_tp);
+      rows.end_object();
+    }
+  }
+  rows.end_array();
+
+  if (!opt.json.empty()) {
+    obs::JsonWriter cfg;
+    cfg.begin_object();
+    cfg.key("mode");
+    cfg.value("erase-heavy");
+    cfg.key("n");
+    cfg.value(static_cast<uint64_t>(n));
+    cfg.key("rounds");
+    cfg.value(int64_t{rounds});
+    cfg.key("quick");
+    cfg.value(opt.quick);
+    cfg.key("workers");
+    cfg.value(static_cast<int64_t>(par::num_workers()));
+    cfg.end_object();
+    if (!bench::write_bench_json(opt.json, "bench_connectivity", cfg.str(),
+                                 rows.str()))
+      std::fprintf(stderr, "failed to write %s\n", opt.json.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Options opt = bench::parse(argc, argv);
+  bool erase_heavy = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--erase-heavy") == 0) erase_heavy = true;
+  if (erase_heavy) return run_erase_heavy(opt);
+
   // Single-edge rows pay O(min split side) per tree-edge deletion, so the
   // default stays moderate; use --n to sweep larger graphs (batched rows
   // scale fine).

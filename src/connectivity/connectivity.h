@@ -49,11 +49,13 @@
 #include <vector>
 
 #include "connectivity/edge_store.h"
+#include "connectivity/replacement_search.h"
 #include "core/capabilities.h"
 #include "core/invariants.h"
 #include "graph/forest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/hash_table.h"
 #include "parallel/primitives.h"
 #include "parallel/scheduler.h"
 #include "recovery/snapshot.h"
@@ -61,12 +63,6 @@
 #include "util/union_find.h"
 
 namespace ufo::conn {
-
-// Outcome of a batch mutation. kDegradedAlloc: the bulk hash-table
-// reservation failed (real or injected bad_alloc), so the batch completed
-// through the sequential fallback — the structure is fully consistent and
-// every edge was applied, only the parallel fast path was lost.
-enum class BatchStatus { kOk, kDegradedAlloc };
 
 // BFS component labeling over a tree-edge store; label = smallest vertex id
 // in the component. Shared by check_valid() and the test oracles.
@@ -94,6 +90,14 @@ class GraphConnectivity {
   // The spanning forest itself: path/subtree/non-local queries on it are
   // meaningful for any workload that treats promoted edges as routes.
   const Backend& forest() const { return forest_; }
+
+  // Force batch_erase onto the serial one-pair-at-a-time replacement search
+  // (the reference implementation) instead of the level-synchronous parallel
+  // engine. Kept for differential testing and as an escape hatch.
+  void set_serial_replacement_search(bool serial) {
+    serial_replacement_ = serial;
+  }
+  bool serial_replacement_search() const { return serial_replacement_; }
 
   // Vertex annotations pass through to the backend when it supports them
   // (weights feed subtree aggregates, marks feed nearest-marked queries);
@@ -133,7 +137,7 @@ class GraphConnectivity {
   // Insert {u, v}. Returns false (no-op) on self-loops and duplicates.
   bool insert(Vertex u, Vertex v, Weight w = 1) {
     if (u == v || u >= n_ || v >= n_ || has_edge(u, v)) return false;
-    weight_[edge_key(u, v)] = w;
+    weight_.insert_or_assign(edge_key(u, v), w);
     if (forest_.connected(u, v)) {
       nontree_.insert(u, v);
     } else {
@@ -212,8 +216,20 @@ class GraphConnectivity {
     }
 
     // Phase 3: apply. The tree batch is mutually independent by staging.
+    // Weights: one bulk reservation, then phase-concurrent inserts (cand is
+    // deduped, so keys are distinct); on reservation failure degrade to
+    // sequential growth like the edge stores below.
     BatchStatus status = BatchStatus::kOk;
-    for (const Edge& e : cand) weight_[edge_key(e.u, e.v)] = e.w;
+    if (weight_.try_reserve(cand.size())) {
+      par::parallel_for(0, cand.size(), [&](size_t i) {
+        weight_.insert_concurrent(edge_key(cand[i].u, cand[i].v), cand[i].w);
+      });
+    } else {
+      UFO_STAT("conn.degraded_batches", 1);
+      for (const Edge& e : cand)
+        weight_.insert_or_assign(edge_key(e.u, e.v), e.w);
+      status = BatchStatus::kDegradedAlloc;
+    }
     if (!tree_batch.empty()) {
       forest_.batch_link(tree_batch);
       components_ -= tree_batch.size();
@@ -229,10 +245,14 @@ class GraphConnectivity {
 
   // Erase a batch of edges. Absent edges and duplicates are filtered.
   // Non-tree removals are trivial; tree removals go through one backend
-  // batch_cut, then a replacement search per cut edge (single pass — see the
-  // invariant argument in the header comment).
-  void batch_erase(const EdgeList& edges) {
-    if (edges.empty()) return;
+  // batch_cut, then replacement searches for all cut edges at once via the
+  // level-synchronous parallel engine (replacement_search.h) — or the serial
+  // reference loop when set_serial_replacement_search(true). Single pass
+  // either way — see the invariant argument in the header comment. Returns
+  // kDegradedAlloc if a bulk reservation failed along the way (the batch is
+  // still fully applied through the sequential fallback).
+  BatchStatus batch_erase(const EdgeList& edges) {
+    if (edges.empty()) return BatchStatus::kOk;
     EdgeList cand(edges.size());
     par::parallel_for(0, edges.size(), [&](size_t i) {
       Edge e = edges[i];
@@ -260,30 +280,45 @@ class GraphConnectivity {
       else
         kind[i] = 0;
     });
-    // Non-tree removals: phase-concurrent tombstone erases.
+    // Non-tree removals and weight drops: phase-concurrent tombstone erases
+    // (distinct keys by dedupe above); the cut batch falls out of a
+    // parallel filter over the classification.
     par::parallel_for(0, cand.size(), [&](size_t i) {
       if (kind[i] == 1) nontree_.erase(cand[i].u, cand[i].v);
-    });
-    EdgeList cut_batch;
-    for (size_t i = 0; i < cand.size(); ++i) {
       if (kind[i] != 0) weight_.erase(edge_key(cand[i].u, cand[i].v));
-      if (kind[i] == 2) cut_batch.push_back(cand[i]);
-    }
-    if (cut_batch.empty()) return;
-    for (const Edge& e : cut_batch) tree_.erase(e.u, e.v);
+    });
+    EdgeList cut_batch =
+        par::filter_index(cand, [&](size_t i) { return kind[i] == 2; });
+    if (cut_batch.empty()) return BatchStatus::kOk;
+    par::parallel_for(0, cut_batch.size(), [&](size_t i) {
+      tree_.erase(cut_batch[i].u, cut_batch[i].v);
+    });
     forest_.batch_cut(cut_batch);
     components_ += cut_batch.size();
     // One cut edge makes exactly two pieces; only larger cut batches can
     // shatter a component and need the far-side certification pass.
     bool multi_piece = cut_batch.size() > 1;
-    for (const Edge& e : cut_batch) reconnect(e.u, e.v, multi_piece);
+    // Below about a dozen cut pairs the engine's round-synchronous machinery
+    // (lead refreshes, per-phase parallel launches) doesn't amortize; the
+    // serial doubling search wins outright. Hybrid cutover, same invariant.
+    if (serial_replacement_ || cut_batch.size() <= kSerialCutover) {
+      for (const Edge& e : cut_batch) reconnect(e.u, e.v, multi_piece);
+      return BatchStatus::kOk;
+    }
+    EdgeList unresolved;
+    BatchStatus st =
+        engine_.run(forest_, tree_, nontree_, weight_, cut_batch, n_,
+                    multi_piece, &components_, &unresolved);
+    // Safety valve fired (should not happen): settle leftovers serially.
+    for (const Edge& e : unresolved) reconnect(e.u, e.v, multi_piece);
+    return st;
   }
 
   // --- Introspection --------------------------------------------------------
   size_t memory_bytes() const {
     size_t total = sizeof(*this) + tree_.memory_bytes() +
-                   nontree_.memory_bytes() +
-                   weight_.size() * (sizeof(uint64_t) + sizeof(Weight));
+                   nontree_.memory_bytes() + weight_.memory_bytes() +
+                   engine_.memory_bytes();
     if constexpr (requires(const Backend& b) { b.memory_bytes(); })
       total += forest_.memory_bytes();
     return total;
@@ -308,7 +343,7 @@ class GraphConnectivity {
     for (Vertex v = 0; v < n_ && !rep.truncated; ++v) {
       nontree_.for_each_neighbor(v, [&](Vertex y) {
         if (label[v] != label[y]) rep.add(103, v, "crossing non-tree edge");
-        if (!weight_.count(edge_key(v, y))) rep.add(104, v, "missing weight");
+        if (!weight_.contains(edge_key(v, y))) rep.add(104, v, "missing weight");
       });
       tree_.for_each_neighbor(v, [&](Vertex y) {
         if (!forest_.connected(v, y)) rep.add(105, v, "forest out of sync");
@@ -342,10 +377,10 @@ class GraphConnectivity {
     w.add_section(recovery::kSecNontreeEdges, dump_edges(nontree_));
     recovery::ByteBuf ws;
     ws.put_u64(weight_.size());
-    for (const auto& [k, wt] : weight_) {
+    weight_.for_each([&](uint64_t k, int64_t wt) {
       ws.put_u64(k);
       ws.put_i64(wt);
-    }
+    });
     w.add_section(recovery::kSecWeights, std::move(ws));
     return w.commit(path);
   }
@@ -395,12 +430,12 @@ class GraphConnectivity {
       if (e != RecoveryError::kNone) return e;
       for (const Edge& ed : tree_edges) {
         if (!tree_.insert(ed.u, ed.v)) return RecoveryError::kInconsistent;
-        weight_[edge_key(ed.u, ed.v)] = 1;
+        weight_.insert_or_assign(edge_key(ed.u, ed.v), 1);
       }
       for (const Edge& ed : nontree_edges) {
         if (tree_.contains(ed.u, ed.v) || !nontree_.insert(ed.u, ed.v))
           return RecoveryError::kInconsistent;
-        weight_[edge_key(ed.u, ed.v)] = 1;
+        weight_.insert_or_assign(edge_key(ed.u, ed.v), 1);
       }
       if (wsec && !wsec->corrupt) {
         recovery::Cursor wc(wsec->data, wsec->len);
@@ -410,9 +445,8 @@ class GraphConnectivity {
         for (uint64_t i = 0; i < count; ++i) {
           uint64_t key = wc.get_u64();
           Weight wt = wc.get_i64();
-          auto it = weight_.find(key);
-          if (it == weight_.end()) return RecoveryError::kInconsistent;
-          it->second = wt;
+          if (!weight_.contains(key)) return RecoveryError::kInconsistent;
+          weight_.insert_or_assign(key, wt);
         }
       } else if (opts.allow_degraded) {
         st.degraded = true;
@@ -511,8 +545,7 @@ class GraphConnectivity {
   }
 
   Weight weight_of(Vertex u, Vertex v) const {
-    auto it = weight_.find(edge_key(u, v));
-    return it == weight_.end() ? Weight{1} : it->second;
+    return weight_.get(edge_key(u, v), Weight{1});
   }
 
   // Pre-unite staged endpoints that share a forest component. Fast path: one
@@ -647,8 +680,15 @@ class GraphConnectivity {
   Backend forest_;           // spanning forest (tree edges only)
   EdgeStore tree_;           // its adjacency, for O(1) membership + BFS
   EdgeStore nontree_;        // replacement-edge candidates
-  std::unordered_map<uint64_t, Weight> weight_;  // key -> weight, all edges
+  // Cut batches at or below this many pairs run the serial search even in
+  // parallel mode (see batch_erase); 12 keeps a 16-spoke star batch on the
+  // engine while routing barely-shattering batches around its fixed cost.
+  static constexpr size_t kSerialCutover = 12;
+
+  par::ConcurrentMap weight_;  // edge key -> weight, all edges
   size_t components_;
+  ReplacementSearch<Backend> engine_;  // pooled parallel replacement search
+  bool serial_replacement_ = false;
 };
 
 static_assert(core::GraphConnectivity<GraphConnectivity<seq::UfoTree>>);

@@ -1,0 +1,63 @@
+// Pooled frontier storage for round-structured searches.
+//
+// The parallel replacement-edge search keeps two growable vertex sequences
+// per live search (a BFS queue and a pending-scan list). Searches are
+// created and retired every batch, and merged away mid-batch, so allocating
+// fresh vectors per search would churn the allocator exactly on the hot
+// path. The arena instead recycles vectors across searches, rounds and
+// batches: release() returns a vector (capacity intact) to a free list,
+// acquire() hands it back out.
+//
+// Concurrency contract: acquire()/release() mutate the pool and are
+// single-threaded — call them only at serial phase boundaries. The vectors
+// themselves may be read/appended from parallel phases as long as each
+// handle has a single writer per phase (the engine's claim protocol
+// guarantees this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ufo::par {
+
+class FrontierArena {
+ public:
+  using Handle = uint32_t;
+  static constexpr Handle kNone = 0xffffffffu;
+
+  // Serial phase boundary: hand out an empty vector (recycled if possible).
+  Handle acquire() {
+    if (!free_.empty()) {
+      Handle h = free_.back();
+      free_.pop_back();
+      pool_[h].clear();
+      return h;
+    }
+    pool_.emplace_back();
+    return static_cast<Handle>(pool_.size() - 1);
+  }
+
+  // Serial phase boundary: return a vector to the pool. Capacity is kept so
+  // the next search of similar size allocates nothing.
+  void release(Handle h) { free_.push_back(h); }
+
+  std::vector<uint32_t>& at(Handle h) { return pool_[h]; }
+  const std::vector<uint32_t>& at(Handle h) const { return pool_[h]; }
+
+  size_t memory_bytes() const {
+    size_t total = sizeof(*this) + free_.capacity() * sizeof(Handle);
+    for (const auto& v : pool_)
+      total += sizeof(v) + v.capacity() * sizeof(uint32_t);
+    return total;
+  }
+
+ private:
+  // deque: handles stay valid across acquire() (vector would invalidate
+  // references to live frontiers when it grows).
+  std::deque<std::vector<uint32_t>> pool_;
+  std::vector<Handle> free_;
+};
+
+}  // namespace ufo::par

@@ -222,14 +222,19 @@ class ConcurrentSet {
 };
 
 // Per-slot ownership claims for phase-concurrent algorithms: many tasks race
-// to claim the same dense id (a cluster, a teardown walk target) and exactly
-// one wins the CAS and performs the work; a loser drops its duplicate
-// request, relying on the winner's effect (the claimed cluster re-enters
-// the shared frontier) to serve it. Slots are epoch-tagged so a new phase
-// invalidates every previous claim in O(1) — no O(n) clear between
+// to claim the same dense id (a cluster, a teardown walk target, a graph
+// vertex) and exactly one wins the CAS and performs the work; a loser drops
+// its duplicate request, relying on the winner's effect (the claimed cluster
+// re-enters the shared frontier) to serve it. Slots are epoch-tagged so a new
+// phase invalidates every previous claim in O(1) — no O(n) clear between
 // batches, which matters when a small batch touches a huge structure.
 class ClaimTable {
  public:
+  // owner_of() result when nobody claimed the id this phase. Owners must be
+  // < kUnclaimed (the replacement-search engine uses search ids, the
+  // teardown walk uses cluster ids — both dense and well below 2^32 - 1).
+  static constexpr uint32_t kUnclaimed = 0xffffffffu;
+
   // Single-threaded phase boundary: make ids [0, n) claimable and retire
   // every claim from earlier phases.
   void begin_phase(size_t n) {
@@ -266,9 +271,225 @@ class ClaimTable {
     }
   }
 
+  // Phase-concurrent: claim `id` for `owner` and report who holds the claim
+  // after the call — `owner` iff this call won, the earlier winner's id
+  // otherwise. The merge protocol of the replacement-search engine needs the
+  // holder, not just win/lose: a losing search unions itself with the holder
+  // instead of rescanning the holder's territory.
+  uint32_t claim_or_owner(size_t id, uint32_t owner) {
+    uint64_t want = (epoch_ << 32) | owner;
+    uint64_t cur = slots_[id].load(std::memory_order_relaxed);
+    for (;;) {
+      if ((cur >> 32) == epoch_)
+        return static_cast<uint32_t>(cur);  // already claimed this phase
+      if (slots_[id].compare_exchange_weak(cur, want,
+                                           std::memory_order_acq_rel))
+        return owner;
+    }
+  }
+
+  // Holder of `id`'s claim this phase, or kUnclaimed. Safe concurrently with
+  // claims (a racing claim may or may not be visible, as with any snapshot
+  // read); exact after a phase barrier.
+  uint32_t owner_of(size_t id) const {
+    uint64_t cur = slots_[id].load(std::memory_order_relaxed);
+    return (cur >> 32) == epoch_ ? static_cast<uint32_t>(cur) : kUnclaimed;
+  }
+
+  size_t memory_bytes() const {
+    return sizeof(*this) + slots_.size() * sizeof(std::atomic<uint64_t>);
+  }
+
  private:
   std::vector<std::atomic<uint64_t>> slots_;
   uint64_t epoch_ = 0;  // low 32 bits of slots hold the owner, high the epoch
+};
+
+// A phase-concurrent open-addressing map from 64-bit keys to 64-bit values,
+// sharing ConcurrentSet's concurrency contract: concurrent inserts of
+// *distinct* keys and concurrent erases are safe within a phase, lookups are
+// safe in read phases, and capacity growth happens only at phase boundaries.
+// A value written by insert_concurrent becomes visible to readers after the
+// phase barrier (the fork-join join publishes it); phases that mix inserts
+// and reads of the same key are not supported, matching how the connectivity
+// layer uses it (bulk weight writes, then queries).
+class ConcurrentMap {
+ public:
+  static constexpr uint64_t kEmpty = ConcurrentSet::kEmpty;
+  static constexpr uint64_t kTombstone = ConcurrentSet::kTombstone;
+
+  explicit ConcurrentMap(size_t capacity_hint = 16) { reserve(capacity_hint); }
+
+  ConcurrentMap(const ConcurrentMap& other) { copy_from(other); }
+  ConcurrentMap& operator=(const ConcurrentMap& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
+  // Phase-concurrent insert; keys must be distinct across concurrent
+  // callers and capacity pre-reserved. Returns true iff the key was absent.
+  bool insert_concurrent(uint64_t key, int64_t value) {
+    size_t mask = keys_.size() - 1;
+    size_t i = util::hash64(key) & mask;
+    size_t tomb = SIZE_MAX;
+    for (;;) {
+      uint64_t cur = keys_[i].load(std::memory_order_relaxed);
+      if (cur == key) {
+        vals_[i].store(value, std::memory_order_relaxed);
+        return false;
+      }
+      if (cur == kTombstone && tomb == SIZE_MAX) tomb = i;
+      if (cur == kEmpty) {
+        size_t target = tomb != SIZE_MAX ? tomb : i;
+        uint64_t expected = keys_[target].load(std::memory_order_relaxed);
+        if (expected != kEmpty && expected != kTombstone) {
+          tomb = SIZE_MAX;  // lost the remembered slot; rescan
+          i = util::hash64(key) & mask;
+          continue;
+        }
+        if (keys_[target].compare_exchange_strong(
+                expected, key, std::memory_order_acq_rel)) {
+          vals_[target].store(value, std::memory_order_relaxed);
+          if (expected == kTombstone)
+            tombs_.fetch_sub(1, std::memory_order_relaxed);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (expected == key) {
+          vals_[target].store(value, std::memory_order_relaxed);
+          return false;
+        }
+        continue;  // raced on the slot; retry
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Sequential insert-or-assign; grows on demand.
+  bool insert_or_assign(uint64_t key, int64_t value) {
+    reserve(1);
+    return insert_concurrent(key, value);
+  }
+
+  // Phase-concurrent erase (tombstone). Returns true iff the key existed.
+  bool erase(uint64_t key) {
+    size_t mask = keys_.size() - 1;
+    size_t i = util::hash64(key) & mask;
+    for (;;) {
+      uint64_t cur = keys_[i].load(std::memory_order_relaxed);
+      if (cur == kEmpty) return false;
+      if (cur == key) {
+        uint64_t expected = key;
+        if (keys_[i].compare_exchange_strong(expected, kTombstone,
+                                             std::memory_order_acq_rel)) {
+          tombs_.fetch_add(1, std::memory_order_relaxed);
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        }
+        continue;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool contains(uint64_t key) const { return slot_of(key) != SIZE_MAX; }
+
+  // Value for `key`, or `fallback` when absent (read phase).
+  int64_t get(uint64_t key, int64_t fallback) const {
+    size_t i = slot_of(key);
+    return i == SIZE_MAX ? fallback : vals_[i].load(std::memory_order_relaxed);
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return keys_.size(); }
+
+  // Single-threaded (phase boundary): grow so `n` additional keys fit at
+  // load factor <= 1/2; same tombstone-aware policy as ConcurrentSet.
+  void reserve(size_t n) {
+    size_t want = ConcurrentSet::capacity_for(size(), n);
+    if (want <= keys_.size() &&
+        size() + tombs_.load(std::memory_order_relaxed) + n <=
+            keys_.size() / 2)
+      return;
+    UFO_STAT("hash.map.resizes", 1);
+    std::vector<std::pair<uint64_t, int64_t>> live;
+    live.reserve(size());
+    for_each([&](uint64_t k, int64_t v) { live.emplace_back(k, v); });
+    std::vector<std::atomic<uint64_t>> fresh_keys(want);
+    std::vector<std::atomic<int64_t>> fresh_vals(want);
+    keys_.swap(fresh_keys);
+    vals_.swap(fresh_vals);
+    for (auto& s : keys_) s.store(kEmpty, std::memory_order_relaxed);
+    size_.store(0, std::memory_order_relaxed);
+    tombs_.store(0, std::memory_order_relaxed);
+    for (const auto& [k, v] : live) insert_concurrent(k, v);
+  }
+
+  // reserve() with the allocation failure surfaced instead of thrown; the
+  // map is untouched on failure so callers can degrade to per-key growth.
+  bool try_reserve(size_t n) noexcept {
+    if (UFO_FAULT_POINT("hash.reserve")) return false;
+    try {
+      reserve(n);
+      return true;
+    } catch (const std::bad_alloc&) {
+      return false;
+    }
+  }
+
+  // Visit every live (key, value) pair (read-only phase).
+  template <class F>
+  void for_each(F&& f) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      uint64_t k = keys_[i].load(std::memory_order_relaxed);
+      if (k != kEmpty && k != kTombstone)
+        f(k, vals_[i].load(std::memory_order_relaxed));
+    }
+  }
+
+  void clear() {
+    for (auto& s : keys_) s.store(kEmpty, std::memory_order_relaxed);
+    size_.store(0, std::memory_order_relaxed);
+    tombs_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t memory_bytes() const {
+    return sizeof(*this) +
+           keys_.size() * (sizeof(std::atomic<uint64_t>) +
+                           sizeof(std::atomic<int64_t>));
+  }
+
+ private:
+  size_t slot_of(uint64_t key) const {
+    size_t mask = keys_.size() - 1;
+    size_t i = util::hash64(key) & mask;
+    for (;;) {
+      uint64_t cur = keys_[i].load(std::memory_order_relaxed);
+      if (cur == key) return i;
+      if (cur == kEmpty) return SIZE_MAX;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void copy_from(const ConcurrentMap& other) {
+    keys_ = std::vector<std::atomic<uint64_t>>(other.keys_.size());
+    vals_ = std::vector<std::atomic<int64_t>>(other.vals_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      keys_[i].store(other.keys_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      vals_[i].store(other.vals_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    size_.store(other.size(), std::memory_order_relaxed);
+    tombs_.store(other.tombs_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+
+  std::vector<std::atomic<uint64_t>> keys_;
+  std::vector<std::atomic<int64_t>> vals_;
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> tombs_{0};
 };
 
 }  // namespace ufo::par

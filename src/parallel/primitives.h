@@ -105,6 +105,24 @@ std::vector<T> filter(const std::vector<T>& v, Pred&& pred) {
   return out;
 }
 
+// filter() variant whose predicate sees the element *index* instead of the
+// value — used when the keep/drop decision lives in a parallel side array
+// (e.g. batch_erase's per-candidate kind codes) rather than in the element.
+template <class T, class Pred>
+std::vector<T> filter_index(const std::vector<T>& v, Pred&& pred) {
+  size_t n = v.size();
+  std::vector<size_t> keep(n);
+  parallel_for(0, n, [&](size_t i) { keep[i] = pred(i) ? 1 : 0; });
+  size_t total = scan_exclusive(keep);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](size_t i) {
+    bool last = (i + 1 == n);
+    size_t next = last ? total : keep[i + 1];
+    if (next != keep[i]) out[keep[i]] = v[i];
+  });
+  return out;
+}
+
 // Stable parallel merge of two sorted runs into `out`. Splits the larger
 // run at its midpoint, binary-searches the split key in the other run, and
 // recurses on both halves in parallel — O(n) work, O(log^2 n) depth.

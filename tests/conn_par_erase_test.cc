@@ -1,0 +1,306 @@
+// Adversarial differential tests for the level-synchronous parallel
+// replacement-edge search (replacement_search.h): every scenario runs the
+// parallel batch_erase path against BOTH the BFS oracle and the serial
+// fallback (set_serial_replacement_search) on the same input stream, and
+// audits invariants after every wave. Registered at 1/2/4/max workers like
+// the other par suites, and part of the TSan job.
+//
+// The scenarios target the engine's hard cases:
+//   * star shatter — every cut-pair search seeds at the hub, so all hub-side
+//     searches must merge through the claim protocol in round one;
+//   * path / grid shatter — long chains of pieces, replacement edges only
+//     reachable through multi-round doubling-radius expansion;
+//   * power-law shatter — skewed degrees, many pieces per batch;
+//   * full-component deletion — certification (not reconnection) must
+//     terminate every search, including the multi-piece both-sides rule;
+//   * duplicate / absent / self-loop entries mixed into every batch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "connectivity/connectivity.h"
+#include "graph/generators.h"
+#include "seq/ufo_tree.h"
+#include "util/random.h"
+
+namespace ufo::conn {
+namespace {
+
+using UfoConn = GraphConnectivity<seq::UfoTree>;
+
+// Brute-force oracle: adjacency sets + BFS for every query.
+class BfsOracle {
+ public:
+  explicit BfsOracle(size_t n) : adj_(n) {}
+
+  void insert(Vertex u, Vertex v) {
+    if (u == v || u >= adj_.size() || v >= adj_.size() || adj_[u].count(v))
+      return;
+    adj_[u].insert(v);
+    adj_[v].insert(u);
+    ++edges_;
+  }
+  void erase(Vertex u, Vertex v) {
+    if (u == v || u >= adj_.size() || v >= adj_.size() || !adj_[u].count(v))
+      return;
+    adj_[u].erase(v);
+    adj_[v].erase(u);
+    --edges_;
+  }
+  size_t num_edges() const { return edges_; }
+
+  bool connected(Vertex u, Vertex v) const {
+    if (u == v) return true;
+    std::vector<Vertex> seen{u};
+    std::set<Vertex> vis{u};
+    for (size_t h = 0; h < seen.size(); ++h) {
+      if (seen[h] == v) return true;
+      for (Vertex y : adj_[seen[h]])
+        if (vis.insert(y).second) seen.push_back(y);
+    }
+    return false;
+  }
+  size_t num_components() const {
+    std::vector<bool> vis(adj_.size(), false);
+    size_t comps = 0;
+    for (Vertex v = 0; v < adj_.size(); ++v) {
+      if (vis[v]) continue;
+      ++comps;
+      std::vector<Vertex> seen{v};
+      vis[v] = true;
+      for (size_t h = 0; h < seen.size(); ++h)
+        for (Vertex y : adj_[seen[h]])
+          if (!vis[y]) {
+            vis[y] = true;
+            seen.push_back(y);
+          }
+    }
+    return comps;
+  }
+
+ private:
+  std::vector<std::set<Vertex>> adj_;
+  size_t edges_ = 0;
+};
+
+// Apply the same erase batch to the parallel path, the serial fallback, and
+// the oracle; then cross-check all three.
+struct Trio {
+  UfoConn par_g;
+  UfoConn ser_g;
+  BfsOracle oracle;
+
+  explicit Trio(size_t n) : par_g(n), ser_g(n), oracle(n) {
+    ser_g.set_serial_replacement_search(true);
+  }
+
+  void insert_all(const EdgeList& edges) {
+    EXPECT_EQ(par_g.batch_insert(edges), BatchStatus::kOk);
+    EXPECT_EQ(ser_g.batch_insert(edges), BatchStatus::kOk);
+    for (const Edge& e : edges) oracle.insert(e.u, e.v);
+  }
+
+  void erase_batch(const EdgeList& batch) {
+    EXPECT_EQ(par_g.batch_erase(batch), BatchStatus::kOk);
+    EXPECT_EQ(ser_g.batch_erase(batch), BatchStatus::kOk);
+    // Oracle semantics: duplicates/absent are no-ops, as in batch_erase.
+    for (const Edge& e : batch) oracle.erase(e.u, e.v);
+  }
+
+  void check(util::SplitMix64& rng, size_t probes) {
+    ASSERT_EQ(par_g.num_edges(), oracle.num_edges());
+    ASSERT_EQ(ser_g.num_edges(), oracle.num_edges());
+    ASSERT_EQ(par_g.num_components(), oracle.num_components());
+    ASSERT_EQ(ser_g.num_components(), oracle.num_components());
+    ASSERT_EQ(par_g.num_tree_edges(), ser_g.num_tree_edges());
+    for (size_t p = 0; p < probes; ++p) {
+      Vertex a = static_cast<Vertex>(rng.next(par_g.size()));
+      Vertex b = static_cast<Vertex>(rng.next(par_g.size()));
+      bool want = oracle.connected(a, b);
+      ASSERT_EQ(par_g.connected(a, b), want) << "par " << a << "-" << b;
+      ASSERT_EQ(ser_g.connected(a, b), want) << "ser " << a << "-" << b;
+    }
+    ASSERT_TRUE(par_g.check_valid());
+    ASSERT_TRUE(ser_g.check_valid());
+  }
+};
+
+// Salt a batch with adversarial entries: in-batch duplicates (both
+// orientations), absent edges, self-loops, out-of-range-free randoms.
+void salt(EdgeList* batch, size_t n, util::SplitMix64& rng) {
+  if (!batch->empty()) {
+    Edge d = batch->front();
+    batch->push_back(d);
+    batch->push_back({d.v, d.u});  // flipped duplicate
+  }
+  batch->push_back({static_cast<Vertex>(rng.next(n)),
+                    static_cast<Vertex>(rng.next(n))});  // likely absent
+  Vertex s = static_cast<Vertex>(rng.next(n));
+  batch->push_back({s, s});  // self-loop
+}
+
+TEST(ParallelBatchErase, StarShatterNoReplacements) {
+  // Shatter a bare star in one batch: every pair must end certified (both
+  // sides for multi-piece), with the hub-side searches collapsing into one
+  // group. No replacement exists; component count must jump to n.
+  constexpr size_t n = 257;
+  Trio t(n);
+  EdgeList spokes = gen::star(n);
+  t.insert_all(spokes);
+  util::SplitMix64 rng(42);
+  EdgeList batch = spokes;
+  salt(&batch, n, rng);
+  t.erase_batch(batch);
+  EXPECT_EQ(t.par_g.num_components(), n);
+  t.check(rng, 50);
+}
+
+TEST(ParallelBatchErase, StarShatterWithChordReplacements) {
+  // Star plus a rim cycle: cutting waves of spokes always leaves rim chords
+  // as replacements, so searches promote instead of certifying.
+  constexpr size_t n = 193;
+  Trio t(n);
+  EdgeList edges = gen::star(n);
+  for (Vertex i = 1; i + 1 < n; ++i)
+    edges.push_back({i, static_cast<Vertex>(i + 1)});  // rim
+  t.insert_all(edges);
+  util::SplitMix64 rng(7);
+  EdgeList spokes = gen::star(n);
+  util::shuffle(spokes, 11);
+  for (size_t at = 0; at < spokes.size(); at += 48) {
+    EdgeList batch(spokes.begin() + static_cast<ptrdiff_t>(at),
+                   spokes.begin() + static_cast<ptrdiff_t>(
+                                        std::min(spokes.size(), at + 48)));
+    salt(&batch, n, rng);
+    t.erase_batch(batch);
+    t.check(rng, 30);
+  }
+  EXPECT_EQ(t.par_g.num_components(), 2u);  // rim path + vertex 0
+}
+
+TEST(ParallelBatchErase, PathShatterEveryOtherEdge) {
+  // Cutting every other edge of a path makes ~n/2 two-vertex pieces in one
+  // batch — maximal pair count, zero replacements.
+  constexpr size_t n = 256;
+  Trio t(n);
+  EdgeList edges = gen::path(n);
+  t.insert_all(edges);
+  util::SplitMix64 rng(13);
+  EdgeList batch;
+  for (size_t i = 0; i < edges.size(); i += 2) batch.push_back(edges[i]);
+  salt(&batch, n, rng);
+  t.erase_batch(batch);
+  t.check(rng, 50);
+}
+
+TEST(ParallelBatchErase, GridShatterWithReplacements) {
+  // Grid columns cut in batches: row edges supply replacements, exercising
+  // multi-round promotion + group merging across many concurrent searches.
+  constexpr size_t rows = 12, cols = 12, n = rows * cols;
+  Trio t(n);
+  EdgeList edges = gen::grid_graph(rows, cols);
+  t.insert_all(edges);
+  util::SplitMix64 rng(99);
+  EdgeList pool = edges;
+  util::shuffle(pool, 3);
+  for (size_t at = 0; at < pool.size(); at += 64) {
+    EdgeList batch(pool.begin() + static_cast<ptrdiff_t>(at),
+                   pool.begin() + static_cast<ptrdiff_t>(
+                                      std::min(pool.size(), at + 64)));
+    salt(&batch, n, rng);
+    t.erase_batch(batch);
+    t.check(rng, 30);
+  }
+  EXPECT_EQ(t.par_g.num_edges(), 0u);
+  EXPECT_EQ(t.par_g.num_components(), n);
+}
+
+TEST(ParallelBatchErase, PowerLawChurn) {
+  // Preferential-attachment graph: skewed degrees mean cut batches mix huge
+  // and tiny pieces; interleave erase and re-insert waves.
+  constexpr size_t n = 300;
+  Trio t(n);
+  EdgeList edges = gen::social_graph(n, 4, 17);
+  t.insert_all(edges);
+  util::SplitMix64 rng(555);
+  EdgeList pool = edges;
+  for (size_t wave = 0; wave < 10; ++wave) {
+    util::shuffle(pool, 100 + wave);
+    EdgeList batch(pool.begin(),
+                   pool.begin() + static_cast<ptrdiff_t>(
+                                      std::min<size_t>(pool.size(), 90)));
+    salt(&batch, n, rng);
+    t.erase_batch(batch);
+    t.check(rng, 25);
+    // Re-insert half of what we just removed so later waves hit tree and
+    // non-tree edges in fresh proportions.
+    EdgeList back(batch.begin(),
+                  batch.begin() + static_cast<ptrdiff_t>(batch.size() / 2));
+    t.insert_all(back);
+    t.check(rng, 10);
+  }
+}
+
+TEST(ParallelBatchErase, FullComponentDeletion) {
+  // Delete every edge of a multi-cycle component in ONE batch: tree and
+  // non-tree edges together, so promoted replacements must themselves get
+  // erased within the same call's classification (they were classified
+  // before the cut — promotion happens after, and the promoted edges were
+  // part of the batch's non-tree set). Ends fully disconnected.
+  constexpr size_t rows = 8, cols = 8, n = rows * cols;
+  Trio t(n);
+  EdgeList edges = gen::grid_graph(rows, cols);
+  t.insert_all(edges);
+  util::SplitMix64 rng(31);
+  EdgeList batch = edges;
+  salt(&batch, n, rng);
+  t.erase_batch(batch);
+  EXPECT_EQ(t.par_g.num_edges(), 0u);
+  EXPECT_EQ(t.par_g.num_components(), n);
+  t.check(rng, 40);
+}
+
+TEST(ParallelBatchErase, ManySmallComponentsThroughputShape) {
+  // Disjoint triangles, one edge cut from each in a single batch: k
+  // independent searches that never collide — the engine must keep them
+  // fully independent (each promotes its triangle's non-tree edge).
+  constexpr size_t tri = 64, n = 3 * tri;
+  Trio t(n);
+  EdgeList edges;
+  for (size_t c = 0; c < tri; ++c) {
+    Vertex a = static_cast<Vertex>(3 * c);
+    edges.push_back({a, static_cast<Vertex>(a + 1)});
+    edges.push_back({static_cast<Vertex>(a + 1), static_cast<Vertex>(a + 2)});
+    edges.push_back({static_cast<Vertex>(a + 2), a});
+  }
+  t.insert_all(edges);
+  ASSERT_EQ(t.par_g.num_components(), tri);
+  util::SplitMix64 rng(77);
+  EdgeList batch;
+  for (size_t c = 0; c < tri; ++c) batch.push_back(edges[3 * c]);
+  salt(&batch, n, rng);
+  t.erase_batch(batch);
+  EXPECT_EQ(t.par_g.num_components(), tri);  // every triangle reconnected
+  t.check(rng, 40);
+}
+
+TEST(ParallelBatchErase, SingleEdgeBatchesMatchSingleErase) {
+  // k=1 batches exercise the single-cut (one-side certification) rule.
+  constexpr size_t n = 100;
+  Trio t(n);
+  EdgeList edges = gen::social_graph(n, 3, 5);
+  t.insert_all(edges);
+  util::SplitMix64 rng(8);
+  EdgeList pool = edges;
+  util::shuffle(pool, 1);
+  for (size_t i = 0; i < std::min<size_t>(pool.size(), 60); ++i) {
+    t.erase_batch({pool[i]});
+    if (i % 10 == 9) t.check(rng, 20);
+  }
+  t.check(rng, 40);
+}
+
+}  // namespace
+}  // namespace ufo::conn

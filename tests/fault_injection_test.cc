@@ -209,6 +209,41 @@ TEST_F(FaultTest, HashReserveFailureDegradesBatchInsert) {
   ASSERT_TRUE(g.check_valid());
 }
 
+TEST_F(FaultTest, HashReserveFailureDegradesBatchErasePromotion) {
+  if (!kFaultBuild) GTEST_SKIP() << "built without UFO_FAULT_INJECTION";
+  // A grid is cycle-rich: batch-erasing a big random subset forces the
+  // replacement search to promote many non-tree edges, whose bulk move into
+  // the tree store goes through try_reserve_batch — the armed site. The
+  // failure must surface as kDegradedAlloc from batch_erase with the batch
+  // still fully applied.
+  constexpr size_t side = 14;
+  size_t n = side * side;
+  conn::GraphConnectivity<seq::UfoTree> g(n);
+  EdgeList edges = gen::grid_graph(side, side);
+  ASSERT_EQ(g.batch_insert(edges), conn::BatchStatus::kOk);
+  util::shuffle(edges, 4);
+  EdgeList drop(edges.begin(), edges.begin() + edges.size() / 2);
+
+  // Arm a later hit so the preamble reservations (weights) survive and the
+  // fault lands inside the promotion path; sweep a few offsets so at least
+  // one run fires mid-search regardless of round structure.
+  bool saw_degraded = false;
+  for (uint64_t nth : {0ull, 1ull, 2ull}) {
+    conn::GraphConnectivity<seq::UfoTree> h(n);
+    ASSERT_EQ(h.batch_insert(edges), conn::BatchStatus::kOk);
+    fault::Injector::instance().reset();
+    fault::Injector::instance().arm_nth("hash.reserve", nth);
+    conn::BatchStatus st = h.batch_erase(drop);
+    fault::Injector::instance().disarm();
+    if (st == conn::BatchStatus::kDegradedAlloc) saw_degraded = true;
+    // Degraded or not: every requested edge is gone and invariants hold.
+    for (const Edge& e : drop) EXPECT_FALSE(h.has_edge(e.u, e.v));
+    ASSERT_TRUE(h.check_valid()) << "nth=" << nth;
+  }
+  EXPECT_TRUE(saw_degraded)
+      << "no armed offset reached a promotion-path reservation";
+}
+
 // Random low-rate faulting across every site on the load path: each
 // attempt must end in a typed error or a fully valid tree — never a crash
 // (ASan in CI turns any leak/overflow from an abandoned half-load into a
